@@ -1,0 +1,71 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * extra Copy units per cluster (the paper's §5 remedy for the wide-machine
+//!   overhead),
+//! * the chain-direction selection policy (max-free-slots, as in the paper,
+//!   vs naive shortest-path),
+//! * the single-use conversion itself (scheduling with and without it on a
+//!   single-cluster machine, to isolate its cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dms_bench::bench_config;
+use dms_core::{dms_schedule, ChainPolicy, DmsConfig, SingleUsePolicy};
+use dms_experiments::ablation::{chain_policy_ablation, copy_unit_ablation};
+use dms_ir::{kernels, transform};
+use dms_machine::MachineConfig;
+
+fn ablation_copy_fus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_copy_units");
+    group.sample_size(10);
+    group.bench_function("one_vs_two_copy_units_8_clusters", |b| {
+        let cfg = bench_config(16, vec![8]);
+        b.iter(|| {
+            let result = copy_unit_ablation(&cfg, 2);
+            // extra copy units must not make things worse on average
+            assert!(result.mean_overhead_reduction() >= -10.0);
+            result
+        });
+    });
+    group.finish();
+}
+
+fn ablation_chain_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_chain_policy");
+    group.sample_size(10);
+    group.bench_function("max_free_slots_vs_shortest_path_8_clusters", |b| {
+        let cfg = bench_config(16, vec![8]);
+        b.iter(|| chain_policy_ablation(&cfg));
+    });
+
+    // Per-kernel view: scheduling a wide loop under both policies.
+    let l = transform::unroll(&kernels::fir(8, 512), 2);
+    let machine = MachineConfig::paper_clustered(8);
+    for (name, policy) in
+        [("max_free_slots", ChainPolicy::MaxFreeSlots), ("shortest_path", ChainPolicy::ShortestPath)]
+    {
+        group.bench_with_input(BenchmarkId::new("fir8x2", name), &policy, |b, &p| {
+            let cfg = DmsConfig { chain_policy: p, ..DmsConfig::default() };
+            b.iter(|| dms_schedule(&l, &machine, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn ablation_single_use(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_single_use");
+    group.sample_size(20);
+    let l = kernels::horner(6, 1_000);
+    let machine = MachineConfig::paper_clustered(1);
+    for (name, policy) in
+        [("with_conversion", SingleUsePolicy::Always), ("without_conversion", SingleUsePolicy::Never)]
+    {
+        group.bench_with_input(BenchmarkId::new("horner6_1_cluster", name), &policy, |b, &p| {
+            let cfg = DmsConfig { single_use: p, ..DmsConfig::default() };
+            b.iter(|| dms_schedule(&l, &machine, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablations, ablation_copy_fus, ablation_chain_policy, ablation_single_use);
+criterion_main!(ablations);

@@ -1,0 +1,57 @@
+//! One benchmark per figure of the paper's evaluation.
+//!
+//! Each benchmark regenerates the corresponding data series (scheduling a
+//! deterministic subsample of the loop suite with both IMS and DMS, then
+//! aggregating), so `cargo bench` both exercises the full pipeline and
+//! reports how long a figure takes to reproduce at this scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dms_bench::bench_config;
+use dms_experiments::{figure4, figure5, figure6, measure_suite};
+
+fn fig4_ii_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_ii_overhead");
+    group.sample_size(10);
+    for clusters in [4u32, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(clusters), &clusters, |b, &cl| {
+            let cfg = bench_config(24, vec![1, cl]);
+            b.iter(|| {
+                let rows = figure4(&measure_suite(&cfg));
+                assert_eq!(rows.len(), 2);
+                rows
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig5_cycle_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_cycles");
+    group.sample_size(10);
+    group.bench_function("set1_set2_relative_cycles", |b| {
+        let cfg = bench_config(24, vec![1, 2, 4, 8]);
+        b.iter(|| {
+            let rows = figure5(&measure_suite(&cfg));
+            assert_eq!(rows.len(), 4);
+            rows
+        });
+    });
+    group.finish();
+}
+
+fn fig6_ipc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_ipc");
+    group.sample_size(10);
+    group.bench_function("set1_set2_ipc", |b| {
+        let cfg = bench_config(24, vec![1, 2, 4, 8]);
+        b.iter(|| {
+            let rows = figure6(&measure_suite(&cfg));
+            assert_eq!(rows.len(), 4);
+            rows
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(figures, fig4_ii_overhead, fig5_cycle_count, fig6_ipc);
+criterion_main!(figures);

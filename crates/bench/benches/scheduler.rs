@@ -1,0 +1,62 @@
+//! Scheduler throughput: how fast IMS and DMS compile representative loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dms_core::{dms_schedule, DmsConfig};
+use dms_ir::{kernels, transform, Loop};
+use dms_machine::MachineConfig;
+use dms_sched::ims::{ims_schedule, ImsConfig};
+use dms_sim::simulate;
+
+fn workloads() -> Vec<(&'static str, Loop)> {
+    vec![
+        ("fir16", kernels::fir(16, 1_000)),
+        ("daxpy_x8", transform::unroll(&kernels::daxpy(1_000), 8)),
+        ("dot_product_x4", transform::unroll(&kernels::dot_product(1_000), 4)),
+        ("complex_multiply", kernels::complex_multiply(1_000)),
+    ]
+}
+
+fn ims_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ims_schedule");
+    for (name, l) in workloads() {
+        for width in [4u32, 8] {
+            let machine = MachineConfig::unclustered(width);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{width}x3_fus")),
+                &machine,
+                |b, m| b.iter(|| ims_schedule(&l, m, &ImsConfig::default()).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn dms_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dms_schedule");
+    for (name, l) in workloads() {
+        for clusters in [4u32, 8] {
+            let machine = MachineConfig::paper_clustered(clusters);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{clusters}_clusters")),
+                &machine,
+                |b, m| b.iter(|| dms_schedule(&l, m, &DmsConfig::default()).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_kernel");
+    group.sample_size(20);
+    let l = kernels::fir(16, 1_000);
+    let machine = MachineConfig::paper_clustered(8);
+    let scheduled = dms_schedule(&l, &machine, &DmsConfig::default()).unwrap();
+    group.bench_function("fir16_8clusters_256_iterations", |b| {
+        b.iter(|| simulate(&scheduled, &machine, 256).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(scheduler, ims_throughput, dms_throughput, simulation_throughput);
+criterion_main!(scheduler);

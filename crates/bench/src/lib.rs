@@ -1,0 +1,27 @@
+//! # dms-bench — Criterion benchmarks
+//!
+//! The benchmark targets live in `benches/`:
+//!
+//! * `figures` — one benchmark per figure of the paper (4, 5 and 6), each
+//!   regenerating the figure's data series on a reduced, deterministic
+//!   subsample of the loop suite (the full 1258-loop run is performed by the
+//!   `dms-experiments` binary and recorded in `EXPERIMENTS.md`),
+//! * `scheduler` — throughput of the IMS baseline and the DMS scheduler on
+//!   representative kernels and machine widths,
+//! * `ablations` — the copy-unit and chain-policy ablations discussed in the
+//!   paper's §5.
+//!
+//! This library crate only hosts shared helpers for those benches.
+
+#![warn(missing_docs)]
+
+use dms_experiments::ExperimentConfig;
+
+/// The reduced experiment configuration shared by the figure benches: small
+/// enough for Criterion to iterate, large enough to exercise every code path
+/// (both loop classes, chains, strategy-3 fallbacks).
+pub fn bench_config(num_loops: usize, cluster_counts: Vec<u32>) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(num_loops);
+    cfg.cluster_counts = cluster_counts;
+    cfg
+}

@@ -1,0 +1,437 @@
+//! The DMS driver: II search plus the three placement strategies.
+
+use crate::chains::{self, ChainPolicy};
+use crate::state::SchedulerState;
+use dms_ir::transform::convert_to_single_use;
+use dms_ir::{Ddg, Loop, OpId};
+use dms_machine::{ClusterId, FuKind, MachineConfig};
+use dms_sched::mii::mii;
+use dms_sched::schedule::{Schedule, ScheduleError, ScheduleResult, SchedStats};
+use serde::{Deserialize, Serialize};
+
+/// When to apply the single-use (copy-insertion) lifetime conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SingleUsePolicy {
+    /// Apply it only when the target machine has more than one cluster (the
+    /// paper's setting: the conversion exists because of the single-read
+    /// CQRFs, which a single-cluster machine does not have).
+    ClusteredOnly,
+    /// Always apply it, regardless of the machine.
+    Always,
+    /// Never apply it (useful for ablations; incorrect for real clustered
+    /// targets with more than two immediate uses of a value).
+    Never,
+}
+
+/// Tuning parameters of the DMS search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmsConfig {
+    /// Scheduling budget per candidate II, as a multiple of the number of
+    /// operations.
+    pub budget_ratio: u32,
+    /// Upper limit of the II search (`None` derives a safe default).
+    pub max_ii: Option<u32>,
+    /// How chains pick between the two ring directions.
+    pub chain_policy: ChainPolicy,
+    /// When to apply the single-use conversion.
+    pub single_use: SingleUsePolicy,
+}
+
+impl Default for DmsConfig {
+    fn default() -> Self {
+        DmsConfig {
+            budget_ratio: 32,
+            max_ii: None,
+            chain_policy: ChainPolicy::MaxFreeSlots,
+            single_use: SingleUsePolicy::ClusteredOnly,
+        }
+    }
+}
+
+/// Schedules a loop with DMS on the given (usually clustered) machine.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::Unschedulable`] if the machine lacks a required
+/// functional-unit class and [`ScheduleError::IiLimitReached`] if no schedule
+/// is found up to the II limit.
+pub fn dms_schedule(
+    l: &Loop,
+    machine: &MachineConfig,
+    config: &DmsConfig,
+) -> Result<ScheduleResult, ScheduleError> {
+    let mut ddg = l.ddg.clone();
+    let apply_single_use = match config.single_use {
+        SingleUsePolicy::Always => true,
+        SingleUsePolicy::Never => false,
+        SingleUsePolicy::ClusteredOnly => machine.is_clustered(),
+    };
+    let copies = if apply_single_use {
+        convert_to_single_use(&mut ddg, machine.latency()) as u64
+    } else {
+        0
+    };
+
+    let bounds = mii(&ddg, machine);
+    if bounds.res_mii == u32::MAX {
+        return Err(ScheduleError::Unschedulable(
+            "the machine lacks a functional-unit class required by the loop".to_string(),
+        ));
+    }
+    let start_ii = bounds.mii();
+    let max_ii = config.max_ii.unwrap_or_else(|| {
+        let ops = ddg.num_live_ops() as u32;
+        let lat = machine.latency().max_latency();
+        (ops * lat).max(start_ii) + ops + 8
+    });
+    let budget = config.budget_ratio as u64 * ddg.num_live_ops().max(1) as u64;
+
+    let mut attempts = 0;
+    for ii in start_ii..=max_ii {
+        attempts += 1;
+        if let Some((out_ddg, schedule, mut stats)) =
+            try_dms(&ddg, machine, ii, budget, config.chain_policy)
+        {
+            stats.mii = Some(bounds);
+            stats.copies_inserted = copies;
+            stats.ii_attempts = attempts;
+            return Ok(ScheduleResult { loop_name: l.name.clone(), ddg: out_ddg, schedule, stats });
+        }
+    }
+    Err(ScheduleError::IiLimitReached { limit: max_ii })
+}
+
+/// One II attempt. Returns `None` when the budget is exhausted.
+fn try_dms(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    budget: u64,
+    policy: ChainPolicy,
+) -> Option<(Ddg, Schedule, SchedStats)> {
+    let mut st = SchedulerState::new(ddg.clone(), machine, ii);
+    let mut remaining = budget;
+
+    while let Some(op) = st.pop_highest_priority() {
+        if remaining == 0 {
+            return None;
+        }
+        remaining -= 1;
+        st.stats.budget_used += 1;
+
+        if place_strategy1(&mut st, op) {
+            st.stats.strategy1_placements += 1;
+            continue;
+        }
+        if place_strategy2(&mut st, op, policy) {
+            st.stats.strategy2_placements += 1;
+            continue;
+        }
+        place_strategy3(&mut st, op);
+        st.stats.strategy3_placements += 1;
+    }
+
+    Some(st.into_parts())
+}
+
+/// The communication-compatible clusters of `op`, ordered by preference:
+/// clusters already hosting scheduled flow neighbours first (the value stays
+/// in the LRF and the partition stays compact), then the least loaded
+/// cluster for the operation's unit class.
+fn preferred_clusters(st: &SchedulerState, op: OpId) -> Vec<ClusterId> {
+    let fu = FuKind::for_op(st.ddg.op(op).kind);
+    let neighbours = st.scheduled_flow_neighbours(op);
+    let mut order = st.communication_compatible_clusters(op);
+    order.sort_by_key(|&c| {
+        let hosted = neighbours.iter().filter(|&&n| n == c).count();
+        (std::cmp::Reverse(hosted), std::cmp::Reverse(st.mrt.free_slots(c, fu)), c)
+    });
+    order
+}
+
+/// Strategy 1: place `op` in a *free* slot of a cluster that is directly
+/// connected to every scheduled flow neighbour. Returns `false` if no such
+/// cluster exists or if every such cluster is out of free units across the
+/// whole scheduling window (the resource-blocked case, handled by chains or
+/// forced placement).
+fn place_strategy1(st: &mut SchedulerState, op: OpId) -> bool {
+    let order = preferred_clusters(st, op);
+    if order.is_empty() {
+        return false;
+    }
+    let fu = FuKind::for_op(st.ddg.op(op).kind);
+    let (min_time, max_time) = st.window(op);
+    let mut found = None;
+    'outer: for t in min_time..=max_time {
+        for &c in &order {
+            if st.mrt.has_free(t, c, fu) {
+                found = Some((t, c));
+                break 'outer;
+            }
+        }
+    }
+    let Some((time, cluster)) = found else {
+        return false;
+    };
+    st.place(op, time, cluster);
+    st.displace_conflicts(op, time, cluster);
+    true
+}
+
+/// Strategy 2: build chains of moves towards the too-distant predecessors
+/// and place `op` in the chosen cluster (which must still have a free slot
+/// for it). Returns `false` if no viable chain combination exists. This
+/// strategy handles both the communication-conflict case (no directly
+/// connected cluster exists at all) and the resource-blocked case (the
+/// directly connected clusters have no free unit, but a farther cluster
+/// reachable through moves does).
+fn place_strategy2(st: &mut SchedulerState, op: OpId, policy: ChainPolicy) -> bool {
+    let Some(option) = chains::best_option(st, op, policy) else {
+        return false;
+    };
+    for plan in &option.chains {
+        st.commit_chain(plan.edge, &plan.moves);
+    }
+    let fu = FuKind::for_op(st.ddg.op(op).kind);
+    // The chains were only built if their Copy slots were free; the operation
+    // itself may still have to evict a resource conflict (paper, figure 2,
+    // strategy 2: "If necessary, unschedule other ops due to ... Resource
+    // conflicts").
+    let (min_time, max_time) = st.window(op);
+    let free = (min_time..=max_time).find(|&t| st.mrt.has_free(t, option.cluster, fu));
+    let time = free.unwrap_or(min_time);
+    if free.is_none() {
+        st.make_room(op, time, option.cluster);
+    }
+    st.place(op, time, option.cluster);
+    st.displace_conflicts(op, time, option.cluster);
+    true
+}
+
+/// Strategy 3: forced IMS-style placement with backtracking. The cluster is
+/// "arbitrarily chosen" (paper's wording); this implementation prefers a
+/// communication-compatible cluster, then the cluster of the most critical
+/// scheduled predecessor, then the least loaded cluster. Eviction here also
+/// covers communication conflicts, and evicting any part of a chain
+/// dismantles the whole chain.
+fn place_strategy3(st: &mut SchedulerState, op: OpId) {
+    let cluster = strategy3_cluster(st, op);
+    let fu = FuKind::for_op(st.ddg.op(op).kind);
+    let (min_time, max_time) = st.window(op);
+    let free = (min_time..=max_time).find(|&t| st.mrt.has_free(t, cluster, fu));
+    let time = free.unwrap_or(min_time);
+    if free.is_none() {
+        st.make_room(op, time, cluster);
+    }
+    st.place(op, time, cluster);
+    st.displace_conflicts(op, time, cluster);
+}
+
+/// The cluster used by strategy 3.
+fn strategy3_cluster(st: &SchedulerState, op: OpId) -> ClusterId {
+    if let Some(&c) = preferred_clusters(st, op).first() {
+        return c;
+    }
+    let best_pred = st
+        .ddg
+        .flow_preds(op)
+        .filter(|(_, e)| e.src != op)
+        .filter_map(|(_, e)| st.schedule.get(e.src).map(|p| (st.height[e.src.index()], p.cluster)))
+        .max_by_key(|&(h, c)| (h, std::cmp::Reverse(c)));
+    if let Some((_, cluster)) = best_pred {
+        return cluster;
+    }
+    let fu = FuKind::for_op(st.ddg.op(op).kind);
+    st.ring()
+        .iter()
+        .max_by_key(|&c| (st.mrt.free_slots(c, fu), std::cmp::Reverse(c)))
+        .unwrap_or(ClusterId(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dms_ir::{kernels, transform, LoopBuilder, Operand};
+    use dms_sched::ims::{ims_schedule, ImsConfig};
+    use dms_sched::validate::validate_schedule;
+
+    fn check(l: &dms_ir::Loop, machine: &MachineConfig, config: &DmsConfig) -> ScheduleResult {
+        let r = dms_schedule(l, machine, config)
+            .unwrap_or_else(|e| panic!("{} failed to schedule: {e}", l.name));
+        let violations = validate_schedule(&r.ddg, machine, &r.schedule);
+        assert!(
+            violations.is_empty(),
+            "{}: schedule has violations: {:?}",
+            l.name,
+            violations
+        );
+        assert!(r.ddg.validate().is_ok(), "{}: DDG corrupted by scheduling", l.name);
+        r
+    }
+
+    #[test]
+    fn schedules_every_kernel_on_every_cluster_count() {
+        for l in kernels::all(64) {
+            for clusters in [1, 2, 3, 4, 6, 8] {
+                let m = MachineConfig::paper_clustered(clusters);
+                let r = check(&l, &m, &DmsConfig::default());
+                let mii = r.stats.mii.unwrap().mii();
+                assert!(r.ii() >= mii, "{}: II {} below MII {}", l.name, r.ii(), mii);
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_dms_matches_ims() {
+        // On one cluster DMS degenerates to IMS (no copies, no chains).
+        for l in kernels::all(64) {
+            let m = MachineConfig::paper_clustered(1);
+            let d = check(&l, &m, &DmsConfig::default());
+            let i = ims_schedule(&l, &m, &ImsConfig::default()).unwrap();
+            assert_eq!(d.ii(), i.ii(), "{}: DMS and IMS must agree on 1 cluster", l.name);
+            assert_eq!(d.stats.copies_inserted, 0);
+            assert_eq!(d.stats.moves_inserted, 0);
+        }
+    }
+
+    #[test]
+    fn two_and_three_cluster_machines_never_need_moves() {
+        // Every pair of clusters is directly connected, so no communication
+        // conflict can arise and strategy 2/3 should never fire.
+        for l in kernels::all(64) {
+            for clusters in [2, 3] {
+                let m = MachineConfig::paper_clustered(clusters);
+                let r = check(&l, &m, &DmsConfig::default());
+                assert_eq!(r.stats.moves_inserted, 0, "{}: unexpected moves", l.name);
+                assert_eq!(r.stats.strategy2_placements, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn useful_ops_preserved_by_scheduling() {
+        let l = kernels::fir(8, 256);
+        let m = MachineConfig::paper_clustered(4);
+        let r = check(&l, &m, &DmsConfig::default());
+        assert_eq!(r.useful_ops(), l.useful_ops());
+    }
+
+    #[test]
+    fn wide_unrolled_loop_spreads_across_clusters() {
+        let l = transform::unroll(&kernels::daxpy(1024), 8);
+        let m = MachineConfig::paper_clustered(8);
+        let r = check(&l, &m, &DmsConfig::default());
+        let used: std::collections::HashSet<_> =
+            r.schedule.iter().map(|(_, s)| s.cluster).collect();
+        assert!(used.len() >= 4, "a 40-op loop should use several of the 8 clusters, used {}", used.len());
+    }
+
+    #[test]
+    fn chains_appear_on_wide_machines_with_spread_producers() {
+        // A reduction over many loads forces values to cross the ring: on an
+        // 8-cluster machine at least one of these loops needs moves or the
+        // strategy-3 fallback.
+        let mut any_conflict_resolution = false;
+        for l in [kernels::fir(16, 256), transform::unroll(&kernels::dot_product(1024), 8)] {
+            let m = MachineConfig::paper_clustered(8);
+            let r = check(&l, &m, &DmsConfig::default());
+            if r.stats.moves_inserted > 0 || r.stats.strategy3_placements > 0 {
+                any_conflict_resolution = true;
+            }
+        }
+        assert!(
+            any_conflict_resolution,
+            "expected at least one loop to exercise strategy 2 or 3 on 8 clusters"
+        );
+    }
+
+    #[test]
+    fn clustered_ii_never_beats_the_unclustered_ideal() {
+        for l in kernels::all(64) {
+            for clusters in [2, 4, 8] {
+                let clustered = MachineConfig::paper_clustered(clusters);
+                let unclustered = MachineConfig::unclustered(clusters);
+                let d = check(&l, &clustered, &DmsConfig::default());
+                let i = ims_schedule(&l, &unclustered, &ImsConfig::default()).unwrap();
+                assert!(
+                    d.ii() >= i.ii(),
+                    "{} on {} clusters: DMS II {} < IMS II {}",
+                    l.name,
+                    clusters,
+                    d.ii(),
+                    i.ii()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_on_few_clusters_comes_only_from_copies() {
+        // For 2-3 clusters any II increase over the unclustered machine must
+        // be attributable to copy pressure, not to moves.
+        for l in kernels::all(64) {
+            for clusters in [2, 3] {
+                let d = check(&l, &MachineConfig::paper_clustered(clusters), &DmsConfig::default());
+                let i = ims_schedule(&l, &MachineConfig::unclustered(clusters), &ImsConfig::default())
+                    .unwrap();
+                if d.ii() > i.ii() {
+                    assert!(d.stats.copies_inserted > 0, "{}: overhead without copies", l.name);
+                }
+                assert_eq!(d.stats.moves_inserted, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_policy_also_produces_valid_schedules() {
+        let cfg = DmsConfig { chain_policy: ChainPolicy::ShortestPath, ..DmsConfig::default() };
+        for l in [kernels::fir(16, 256), kernels::complex_multiply(256)] {
+            let m = MachineConfig::paper_clustered(8);
+            check(&l, &m, &cfg);
+        }
+    }
+
+    #[test]
+    fn extra_copy_units_never_hurt() {
+        let l = kernels::fir(12, 256);
+        let one = check(&l, &MachineConfig::paper_clustered(6), &DmsConfig::default());
+        let two = check(
+            &l,
+            &MachineConfig::paper_clustered_with_copy_units(6, 2),
+            &DmsConfig::default(),
+        );
+        assert!(two.ii() <= one.ii());
+    }
+
+    #[test]
+    fn unschedulable_machine_is_reported() {
+        let l = kernels::daxpy(8);
+        let m = MachineConfig::homogeneous(
+            2,
+            dms_machine::ClusterFus { load_store: 0, add: 1, mul: 1, copy: 1 },
+            dms_ir::LatencySpec::default(),
+        );
+        assert!(matches!(
+            dms_schedule(&l, &m, &DmsConfig::default()),
+            Err(ScheduleError::Unschedulable(_))
+        ));
+    }
+
+    #[test]
+    fn always_policy_inserts_copies_even_on_one_cluster() {
+        let mut b = LoopBuilder::new("fan");
+        let a = b.load(Operand::Induction);
+        let x = b.add(a.into(), Operand::Immediate(1));
+        let y = b.mul(a.into(), Operand::Invariant(0));
+        let z = b.sub(a.into(), Operand::Immediate(2));
+        b.store(x.into());
+        b.store(y.into());
+        b.store(z.into());
+        let l = b.finish(32);
+        let m = MachineConfig::paper_clustered(1);
+        let cfg = DmsConfig { single_use: SingleUsePolicy::Always, ..DmsConfig::default() };
+        let r = check(&l, &m, &cfg);
+        // `a` has three readers -> one copy keeps every fan-out at two.
+        assert!(r.stats.copies_inserted >= 1);
+    }
+}

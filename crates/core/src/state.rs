@@ -1,0 +1,553 @@
+//! Mutable scheduler state shared by the three DMS strategies.
+//!
+//! The state owns the working copy of the DDG (which grows as `move`
+//! operations are inserted and shrinks again when chains are dismantled), the
+//! modulo reservation table, the partial schedule, the scheduling priorities
+//! and the bookkeeping needed for IMS-style backtracking.
+
+use dms_ir::{Ddg, DepEdge, OpId, OpKind, Operation};
+use dms_machine::{ClusterId, FuKind, MachineConfig, Mrt, Ring};
+use dms_sched::priority::heights;
+use dms_sched::schedule::{SchedStats, Schedule};
+
+/// A committed chain of `move` operations realising one too-distant flow
+/// dependence.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// The operation producing the value.
+    pub producer: OpId,
+    /// The operation consuming the value.
+    pub consumer: OpId,
+    /// The move operations, ordered from the producer towards the consumer.
+    pub moves: Vec<OpId>,
+    /// The original dependence edge that the chain replaced (re-installed
+    /// when the chain is dismantled).
+    pub original_edge: DepEdge,
+}
+
+/// Mutable state of one DMS scheduling attempt (one candidate II).
+#[derive(Debug)]
+pub struct SchedulerState {
+    /// Working copy of the DDG (owned; grows/shrinks with chains).
+    pub ddg: Ddg,
+    /// The modulo reservation table for the current II.
+    pub mrt: Mrt,
+    /// The partial schedule.
+    pub schedule: Schedule,
+    /// Scheduling priority (height) per operation slot.
+    pub height: Vec<i64>,
+    /// Whether each operation has never been scheduled yet.
+    pub never_scheduled: Vec<bool>,
+    /// The last time at which each operation was scheduled (for the IMS
+    /// "forced progress" rule).
+    pub prev_time: Vec<u32>,
+    /// Operations waiting to be scheduled.
+    pub unscheduled: Vec<OpId>,
+    /// Committed chains, indexed implicitly by position.
+    pub chains: Vec<Chain>,
+    /// Statistics accumulated so far.
+    pub stats: SchedStats,
+    ring: Ring,
+    ii: u32,
+    move_latency: u32,
+}
+
+impl SchedulerState {
+    /// Creates the state for one scheduling attempt.
+    pub fn new(ddg: Ddg, machine: &MachineConfig, ii: u32) -> Self {
+        let n = ddg.num_slots();
+        let height = heights(&ddg, ii);
+        let unscheduled: Vec<OpId> = ddg.live_op_ids().collect();
+        SchedulerState {
+            mrt: Mrt::new(machine, ii),
+            schedule: Schedule::new(ii, n),
+            height,
+            never_scheduled: vec![true; n],
+            prev_time: vec![0; n],
+            unscheduled,
+            chains: Vec::new(),
+            stats: SchedStats::default(),
+            ring: machine.ring(),
+            ii,
+            move_latency: machine.latency().mv,
+            ddg,
+        }
+    }
+
+    /// The initiation interval of this attempt.
+    #[inline]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// The ring topology of the target machine.
+    #[inline]
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Latency of a `move` operation on the target machine.
+    #[inline]
+    pub fn move_latency(&self) -> u32 {
+        self.move_latency
+    }
+
+    /// Whether all operations have been placed.
+    pub fn complete(&self) -> bool {
+        self.unscheduled.is_empty()
+    }
+
+    /// Removes and returns the highest-priority unscheduled operation
+    /// (largest height; ties broken by the smallest id).
+    pub fn pop_highest_priority(&mut self) -> Option<OpId> {
+        if self.unscheduled.is_empty() {
+            return None;
+        }
+        let (idx, _) = self
+            .unscheduled
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &o)| (self.height[o.index()], std::cmp::Reverse(o)))?;
+        Some(self.unscheduled.swap_remove(idx))
+    }
+
+    /// Earliest start time of `op` given its already-scheduled predecessors
+    /// (self edges excluded — they are satisfied by any II at or above
+    /// RecMII).
+    pub fn earliest_start(&self, op: OpId) -> u32 {
+        let mut estart = 0i64;
+        for (_, e) in self.ddg.preds(op) {
+            if e.src == op {
+                continue;
+            }
+            if let Some(p) = self.schedule.get(e.src) {
+                let bound =
+                    p.time as i64 + e.latency as i64 - self.ii as i64 * e.distance as i64;
+                estart = estart.max(bound);
+            }
+        }
+        estart.max(0) as u32
+    }
+
+    /// The scheduling window `[min_time, min_time + II - 1]` of `op`,
+    /// honouring the forced-progress rule for re-scheduled operations.
+    pub fn window(&self, op: OpId) -> (u32, u32) {
+        let estart = self.earliest_start(op);
+        let min_time = if self.never_scheduled[op.index()] {
+            estart
+        } else {
+            estart.max(self.prev_time[op.index()] + 1)
+        };
+        (min_time, min_time + self.ii - 1)
+    }
+
+    /// The clusters hosting already-scheduled operations that exchange a
+    /// value with `op` (flow predecessors and flow successors).
+    pub fn scheduled_flow_neighbours(&self, op: OpId) -> Vec<ClusterId> {
+        let mut out = Vec::new();
+        for (_, e) in self.ddg.flow_preds(op) {
+            if e.src == op {
+                continue;
+            }
+            if let Some(p) = self.schedule.get(e.src) {
+                out.push(p.cluster);
+            }
+        }
+        for (_, e) in self.ddg.flow_succs(op) {
+            if e.dst == op {
+                continue;
+            }
+            if let Some(s) = self.schedule.get(e.dst) {
+                out.push(s.cluster);
+            }
+        }
+        out
+    }
+
+    /// The clusters in which `op` could be placed without creating any
+    /// communication conflict with its scheduled flow neighbours.
+    pub fn communication_compatible_clusters(&self, op: OpId) -> Vec<ClusterId> {
+        let neighbours = self.scheduled_flow_neighbours(op);
+        self.ring
+            .iter()
+            .filter(|&c| neighbours.iter().all(|&n| self.ring.directly_connected(c, n)))
+            .collect()
+    }
+
+    /// Places `op` at `time` in `cluster`, assuming a unit is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no unit of the required class is free (callers must evict
+    /// first via [`SchedulerState::make_room`]).
+    pub fn place(&mut self, op: OpId, time: u32, cluster: ClusterId) {
+        let fu = FuKind::for_op(self.ddg.op(op).kind);
+        self.mrt
+            .reserve(op, time, cluster, fu)
+            .expect("place() requires a free unit; call make_room() first");
+        self.schedule.place(op, time, cluster);
+        self.never_scheduled[op.index()] = false;
+        self.prev_time[op.index()] = time;
+        self.unscheduled.retain(|&o| o != op);
+    }
+
+    /// Evicts occupants of the `(time, cluster)` slot of `op`'s unit class
+    /// until one unit is free, lowest-priority occupants first. Returns the
+    /// evicted operations.
+    pub fn make_room(&mut self, op: OpId, time: u32, cluster: ClusterId) -> Vec<OpId> {
+        let fu = FuKind::for_op(self.ddg.op(op).kind);
+        let mut evicted = Vec::new();
+        while !self.mrt.has_free(time, cluster, fu) {
+            let victim = *self
+                .mrt
+                .occupants(time, cluster, fu)
+                .iter()
+                .min_by_key(|&&o| (self.height[o.index()], std::cmp::Reverse(o)))
+                .expect("a full slot has occupants");
+            self.unschedule(victim);
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Unschedules every already-scheduled successor of `op` whose dependence
+    /// would be violated by `op` issuing at `time`, and every scheduled flow
+    /// neighbour that would sit in an indirectly connected cluster
+    /// (communication conflict — the extra backtracking cause specific to
+    /// DMS strategy 3).
+    pub fn displace_conflicts(&mut self, op: OpId, time: u32, cluster: ClusterId) {
+        // Dependence conflicts with successors.
+        let mut victims: Vec<OpId> = self
+            .ddg
+            .succs(op)
+            .filter(|(_, e)| e.dst != op)
+            .filter_map(|(_, e)| {
+                self.schedule.get(e.dst).and_then(|d| {
+                    let bound =
+                        time as i64 + e.latency as i64 - self.ii as i64 * e.distance as i64;
+                    ((d.time as i64) < bound).then_some(e.dst)
+                })
+            })
+            .collect();
+        // Communication conflicts with flow neighbours.
+        for (_, e) in self.ddg.flow_preds(op) {
+            if e.src == op {
+                continue;
+            }
+            if let Some(p) = self.schedule.get(e.src) {
+                if !self.ring.directly_connected(p.cluster, cluster) {
+                    victims.push(e.src);
+                }
+            }
+        }
+        for (_, e) in self.ddg.flow_succs(op) {
+            if e.dst == op {
+                continue;
+            }
+            if let Some(s) = self.schedule.get(e.dst) {
+                if !self.ring.directly_connected(s.cluster, cluster) {
+                    victims.push(e.dst);
+                }
+            }
+        }
+        victims.sort();
+        victims.dedup();
+        for v in victims {
+            if self.schedule.get(v).is_some() {
+                self.unschedule(v);
+            }
+        }
+    }
+
+    /// Unschedules `op`: releases its reservation, removes it from the
+    /// partial schedule and returns it to the unscheduled worklist. If `op`
+    /// is the producer, the consumer or a member of any committed chain, the
+    /// chain is dismantled (its moves are deleted from the DDG and the
+    /// original dependence edge is restored); if that leaves the producer and
+    /// consumer of a dismantled chain scheduled in indirectly connected
+    /// clusters, the consumer is unscheduled as well.
+    pub fn unschedule(&mut self, op: OpId) {
+        if self.schedule.get(op).is_some() {
+            self.mrt.release(op);
+            self.schedule.remove(op);
+            self.stats.evictions += 1;
+        }
+        // Dismantle every chain this operation participates in. Dismantling
+        // can recursively unschedule other operations (and remove further
+        // chains), so re-scan after every removal instead of precomputing
+        // indices.
+        loop {
+            let pos = self.chains.iter().position(|c| {
+                c.producer == op || c.consumer == op || c.moves.contains(&op)
+            });
+            match pos {
+                Some(i) => {
+                    let chain = self.chains.remove(i);
+                    self.dismantle(chain);
+                }
+                None => break,
+            }
+        }
+        // Return the op itself to the worklist unless it is a move that was
+        // just deleted by a dismantle above.
+        if self.ddg.is_live(op)
+            && self.ddg.op(op).kind != OpKind::Move
+            && !self.unscheduled.contains(&op)
+        {
+            self.unscheduled.push(op);
+        }
+    }
+
+    /// Dismantles one chain: deletes its move operations, restores the
+    /// original edge and operand, and unschedules the consumer if the direct
+    /// dependence would now cross indirectly connected clusters.
+    fn dismantle(&mut self, chain: Chain) {
+        // Restore the consumer's operand to read the producer directly.
+        if let Some(&last) = chain.moves.last() {
+            if self.ddg.is_live(chain.consumer) {
+                self.ddg.redirect_reads(chain.consumer, last, chain.producer);
+            }
+        }
+        // Delete the moves (removes their edges too).
+        for m in &chain.moves {
+            if self.schedule.get(*m).is_some() {
+                self.mrt.release(*m);
+                self.schedule.remove(*m);
+            }
+            self.unscheduled.retain(|&o| o != *m);
+            if self.ddg.is_live(*m) {
+                self.ddg.remove_op(*m);
+            }
+        }
+        // Restore the original producer -> consumer edge.
+        if self.ddg.is_live(chain.producer) && self.ddg.is_live(chain.consumer) {
+            self.ddg.add_edge(chain.original_edge);
+        }
+        // If both endpoints remain scheduled but are now too far apart, the
+        // consumer must be rescheduled.
+        if let (Some(p), Some(c)) =
+            (self.schedule.get(chain.producer), self.schedule.get(chain.consumer))
+        {
+            if !self.ring.directly_connected(p.cluster, c.cluster) {
+                self.unschedule(chain.consumer);
+            }
+        }
+    }
+
+    /// Inserts the move operations of a planned chain into the DDG, reserves
+    /// their slots and records the chain for later dismantling. `moves` are
+    /// `(cluster, time)` pairs ordered from the producer towards the
+    /// consumer; the edge `edge_id` (producer → consumer) is replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any move slot is not actually free — chain planning must
+    /// have verified availability.
+    pub fn commit_chain(
+        &mut self,
+        edge: DepEdge,
+        moves: &[(ClusterId, u32)],
+    ) -> Vec<OpId> {
+        debug_assert!(!moves.is_empty(), "a chain needs at least one move");
+        let producer = edge.src;
+        let consumer = edge.dst;
+        // Remove the original edge.
+        let eid = self
+            .ddg
+            .live_edges()
+            .find(|(_, e)| **e == edge)
+            .map(|(id, _)| id)
+            .expect("the chained edge must exist");
+        self.ddg.remove_edge(eid);
+
+        let mut move_ids = Vec::with_capacity(moves.len());
+        let mut prev = producer;
+        let mut prev_latency = edge.latency;
+        let mut prev_distance = edge.distance;
+        for &(cluster, time) in moves {
+            let m = self.ddg.add_op(Operation::new(
+                OpKind::Move,
+                vec![dms_ir::Operand::def_at(prev, prev_distance)],
+            ));
+            self.grow_tables();
+            self.ddg.add_edge(DepEdge::flow(prev, m, prev_latency, prev_distance));
+            self.mrt
+                .reserve(m, time, cluster, FuKind::Copy)
+                .expect("chain planning verified this Copy slot was free");
+            self.schedule.place(m, time, cluster);
+            self.never_scheduled[m.index()] = false;
+            self.prev_time[m.index()] = time;
+            move_ids.push(m);
+            prev = m;
+            prev_latency = self.move_latency;
+            prev_distance = 0;
+        }
+        // Re-point the consumer at the last move.
+        let last = *move_ids.last().expect("at least one move");
+        self.ddg.redirect_reads(consumer, producer, last);
+        self.ddg.add_edge(DepEdge::flow(last, consumer, self.move_latency, 0));
+
+        // Heights: a move sits just above its consumer in the priority order.
+        let consumer_height = self.height[consumer.index()];
+        for (k, &m) in move_ids.iter().rev().enumerate() {
+            self.height[m.index()] = consumer_height + (k as i64 + 1) * self.move_latency as i64;
+        }
+
+        self.chains.push(Chain {
+            producer,
+            consumer,
+            moves: move_ids.clone(),
+            original_edge: edge,
+        });
+        self.stats.moves_inserted += moves.len() as u64;
+        move_ids
+    }
+
+    /// Grows the per-op side tables after the DDG gained a new operation.
+    fn grow_tables(&mut self) {
+        let n = self.ddg.num_slots();
+        self.height.resize(n, 0);
+        self.never_scheduled.resize(n, true);
+        self.prev_time.resize(n, 0);
+    }
+
+    /// Finalises the attempt, consuming the state.
+    pub fn into_parts(self) -> (Ddg, Schedule, SchedStats) {
+        (self.ddg, self.schedule, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dms_ir::{LoopBuilder, Operand};
+    use dms_machine::MachineConfig;
+
+    fn chain_loop() -> dms_ir::Loop {
+        let mut b = LoopBuilder::new("chain");
+        let a = b.load(Operand::Induction);
+        let m = b.mul(a.into(), Operand::Invariant(0));
+        b.store(m.into());
+        b.finish(16)
+    }
+
+    #[test]
+    fn pop_highest_priority_is_deterministic_and_exhaustive() {
+        let l = chain_loop();
+        let m = MachineConfig::paper_clustered(2);
+        let mut st = SchedulerState::new(l.ddg.clone(), &m, 2);
+        let mut seen = Vec::new();
+        while let Some(op) = st.pop_highest_priority() {
+            seen.push(op);
+        }
+        assert_eq!(seen.len(), 3);
+        // load (highest height) first, store last
+        assert_eq!(seen[0], OpId(0));
+        assert_eq!(seen[2], OpId(2));
+    }
+
+    #[test]
+    fn place_and_window_forced_progress() {
+        let l = chain_loop();
+        let m = MachineConfig::paper_clustered(2);
+        let mut st = SchedulerState::new(l.ddg.clone(), &m, 2);
+        let load = OpId(0);
+        assert_eq!(st.window(load), (0, 1));
+        st.place(load, 0, ClusterId(0));
+        assert!(!st.unscheduled.contains(&load));
+        // dependent mul must start at or after load latency
+        assert_eq!(st.earliest_start(OpId(1)), 2);
+        // unschedule and check forced progress
+        st.unschedule(load);
+        assert!(st.unscheduled.contains(&load));
+        assert_eq!(st.window(load), (1, 2));
+        assert_eq!(st.stats.evictions, 1);
+    }
+
+    #[test]
+    fn make_room_evicts_lowest_priority() {
+        let l = chain_loop();
+        let m = MachineConfig::paper_clustered(1);
+        let mut st = SchedulerState::new(l.ddg.clone(), &m, 1);
+        // load (op0) and store (op2) both need the single L/S unit; II = 1 so
+        // they always collide.
+        st.place(OpId(0), 0, ClusterId(0));
+        let evicted = st.make_room(OpId(2), 3, ClusterId(0));
+        assert_eq!(evicted, vec![OpId(0)]);
+        st.place(OpId(2), 3, ClusterId(0));
+        assert!(st.unscheduled.contains(&OpId(0)));
+    }
+
+    #[test]
+    fn communication_compatible_clusters_respects_neighbours() {
+        let l = chain_loop();
+        let m = MachineConfig::paper_clustered(6);
+        let mut st = SchedulerState::new(l.ddg.clone(), &m, 4);
+        st.place(OpId(0), 0, ClusterId(0)); // load in cluster 0
+        let compat = st.communication_compatible_clusters(OpId(1));
+        assert_eq!(compat, vec![ClusterId(0), ClusterId(1), ClusterId(5)]);
+        // no constraint for an operation with no scheduled neighbours
+        assert_eq!(st.communication_compatible_clusters(OpId(2)).len(), 6);
+    }
+
+    #[test]
+    fn commit_and_dismantle_chain_restores_graph() {
+        let l = chain_loop();
+        let m = MachineConfig::paper_clustered(6);
+        let mut st = SchedulerState::new(l.ddg.clone(), &m, 4);
+        st.place(OpId(0), 0, ClusterId(0));
+        let edge = *st.ddg.flow_succs(OpId(0)).next().unwrap().1;
+        let before_edges = st.ddg.live_edges().count();
+        let moves = st.commit_chain(edge, &[(ClusterId(1), 2), (ClusterId(2), 3)]);
+        assert_eq!(moves.len(), 2);
+        assert_eq!(st.ddg.num_live_ops(), 5);
+        assert_eq!(st.stats.moves_inserted, 2);
+        assert!(st.ddg.validate().is_ok());
+        // consumer now reads the last move
+        assert_eq!(st.ddg.op(OpId(1)).defs_read().next().unwrap().0, moves[1]);
+
+        // Evicting the producer dismantles the chain.
+        st.unschedule(OpId(0));
+        assert_eq!(st.chains.len(), 0);
+        assert_eq!(st.ddg.num_live_ops(), 3);
+        assert_eq!(st.ddg.live_edges().count(), before_edges);
+        assert_eq!(st.ddg.op(OpId(1)).defs_read().next().unwrap().0, OpId(0));
+        assert!(st.ddg.validate().is_ok());
+    }
+
+    #[test]
+    fn dismantle_unschedules_consumer_when_too_far() {
+        let l = chain_loop();
+        let m = MachineConfig::paper_clustered(6);
+        let mut st = SchedulerState::new(l.ddg.clone(), &m, 4);
+        st.place(OpId(0), 0, ClusterId(0));
+        let edge = *st.ddg.flow_succs(OpId(0)).next().unwrap().1;
+        let moves = st.commit_chain(edge, &[(ClusterId(1), 2), (ClusterId(2), 3)]);
+        // place the consumer far away (legal thanks to the chain)
+        st.place(OpId(1), 4, ClusterId(3));
+        // evict one of the moves: chain dismantles and the consumer (now
+        // directly dependent on cluster 0) must be unscheduled too.
+        st.unschedule(moves[0]);
+        assert!(st.chains.is_empty());
+        assert!(st.schedule.get(OpId(1)).is_none());
+        assert!(st.unscheduled.contains(&OpId(1)));
+        // producer stays scheduled
+        assert!(st.schedule.get(OpId(0)).is_some());
+    }
+
+    #[test]
+    fn displace_conflicts_handles_dependence_and_communication() {
+        let l = chain_loop();
+        let m = MachineConfig::paper_clustered(6);
+        let mut st = SchedulerState::new(l.ddg.clone(), &m, 4);
+        // schedule mul and store first
+        st.place(OpId(1), 2, ClusterId(3));
+        st.place(OpId(2), 4, ClusterId(3));
+        // now force the load into cluster 0 at time 4: the mul is both too
+        // early (dependence) and too far (communication) -> displaced.
+        st.displace_conflicts(OpId(0), 4, ClusterId(0));
+        assert!(st.schedule.get(OpId(1)).is_none());
+        // the store only depends on the mul, so it survives
+        assert!(st.schedule.get(OpId(2)).is_some());
+    }
+}

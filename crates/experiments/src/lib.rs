@@ -1,0 +1,32 @@
+//! # dms-experiments — Reproduction of the paper's evaluation
+//!
+//! The paper's evaluation (section 4) contains three figures, all derived
+//! from scheduling the same loop suite on machines of 1–10 clusters and on
+//! the equivalent unclustered machines:
+//!
+//! * **Figure 4** — fraction of loops whose II increases due to DMS
+//!   partitioning, per cluster count ([`fig4`]);
+//! * **Figure 5** — total dynamic cycle count (relative) for Set 1 (all
+//!   loops) and Set 2 (loops without recurrences), clustered vs unclustered,
+//!   over 3–30 functional units ([`fig5`]);
+//! * **Figure 6** — IPC for the same four series ([`fig6`]).
+//!
+//! [`runner`] produces the raw per-loop measurements shared by all figures,
+//! [`ablation`] adds the two ablations motivated by the paper's §5
+//! discussion (extra Copy units; chain-direction policy), and [`report`]
+//! renders everything as aligned text tables and CSV.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod report;
+pub mod runner;
+
+pub use fig4::{figure4, Fig4Row};
+pub use fig5::{figure5, Fig5Row};
+pub use fig6::{figure6, Fig6Row};
+pub use runner::{measure_suite, ExperimentConfig, LoopMeasurement};

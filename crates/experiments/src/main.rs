@@ -1,0 +1,143 @@
+//! Command-line entry point regenerating the paper's figures.
+//!
+//! ```text
+//! dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T]
+//! ```
+//!
+//! With no arguments it runs `all` at paper scale (1258 loops, 1–10
+//! clusters), prints every figure as a text table and checks the paper's
+//! headline claims.
+
+use dms_experiments::ablation::{chain_policy_ablation, copy_unit_ablation};
+use dms_experiments::report;
+use dms_experiments::{figure4, figure5, figure6, measure_suite, ExperimentConfig};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Command {
+    Fig4,
+    Fig5,
+    Fig6,
+    Ablation,
+    All,
+}
+
+#[derive(Debug)]
+struct Cli {
+    command: Command,
+    config: ExperimentConfig,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut command = Command::All;
+    let mut config = ExperimentConfig::paper();
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "fig4" => command = Command::Fig4,
+            "fig5" => command = Command::Fig5,
+            "fig6" => command = Command::Fig6,
+            "ablation" => command = Command::Ablation,
+            "all" => command = Command::All,
+            "--loops" => {
+                let v = args.next().ok_or("--loops needs a value")?;
+                config.suite.num_loops = v.parse().map_err(|_| format!("bad --loops value {v}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                config.suite.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                config.threads = v.parse().map_err(|_| format!("bad --threads value {v}"))?;
+            }
+            "--clusters" => {
+                let v = args.next().ok_or("--clusters needs a value")?;
+                config.cluster_counts = v
+                    .split(',')
+                    .map(|x| x.trim().parse().map_err(|_| format!("bad cluster count {x}")))
+                    .collect::<Result<Vec<u32>, String>>()?;
+            }
+            "--csv" => csv_dir = Some(args.next().ok_or("--csv needs a directory")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Cli { command, config, csv_dir })
+}
+
+fn write_csv(dir: &str, name: &str, contents: &str) {
+    let path = std::path::Path::new(dir).join(name);
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, contents)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "DMS reproduction — {} loops, clusters {:?}, seed {}",
+        cli.config.suite.num_loops, cli.config.cluster_counts, cli.config.suite.seed
+    );
+
+    if cli.command == Command::Ablation {
+        let mut cfg = cli.config.clone();
+        // the ablations only matter on the wide configurations
+        cfg.cluster_counts = cfg.cluster_counts.iter().copied().filter(|&c| c >= 6).collect();
+        if cfg.cluster_counts.is_empty() {
+            cfg.cluster_counts = vec![6, 8, 10];
+        }
+        let copy = copy_unit_ablation(&cfg, 2);
+        println!("\n{}", report::render_ablation(&copy));
+        let chain = chain_policy_ablation(&cfg);
+        println!("\n{}", report::render_ablation(&chain));
+        return ExitCode::SUCCESS;
+    }
+
+    let started = std::time::Instant::now();
+    let measurements = measure_suite(&cli.config);
+    println!(
+        "scheduled {} (loop, machine) pairs twice (IMS + DMS) in {:.1} s\n",
+        measurements.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    if matches!(cli.command, Command::Fig4 | Command::All) {
+        let rows = figure4(&measurements);
+        println!("{}", report::render_fig4(&rows));
+        if let Some(dir) = &cli.csv_dir {
+            write_csv(dir, "figure4.csv", &report::fig4_csv(&rows));
+        }
+    }
+    if matches!(cli.command, Command::Fig5 | Command::All) {
+        let rows = figure5(&measurements);
+        println!("{}", report::render_fig5(&rows));
+        if let Some(dir) = &cli.csv_dir {
+            write_csv(dir, "figure5.csv", &report::fig5_csv(&rows));
+        }
+    }
+    if matches!(cli.command, Command::Fig6 | Command::All) {
+        let rows = figure6(&measurements);
+        println!("{}", report::render_fig6(&rows));
+        if let Some(dir) = &cli.csv_dir {
+            write_csv(dir, "figure6.csv", &report::fig6_csv(&rows));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,251 @@
+//! Text-table and CSV rendering of the experiment results.
+
+use crate::ablation::AblationResult;
+use crate::fig4::{claim_no_overhead_up_to_8_clusters, Fig4Row};
+use crate::fig5::Fig5Row;
+use crate::fig6::{claim_ipc_trends, Fig6Row};
+use std::fmt::Write as _;
+
+/// Renders figure 4 as an aligned text table plus the paper's headline claim.
+pub fn render_fig4(rows: &[Fig4Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 4 — II increase due to partitioning");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>6} {:>12} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "clusters", "loops", "II up (%)", "no overhead(%)", "mean ovhd(%)", "moves/loop", "copies/loop", "inherent(%)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>6} {:>12.1} {:>14.1} {:>14.1} {:>12.2} {:>12.2} {:>12.1}",
+            r.clusters,
+            r.loops,
+            r.percent_increased,
+            r.percent_no_overhead,
+            100.0 * r.mean_overhead,
+            r.mean_moves,
+            r.mean_copies,
+            r.percent_overhead_inherent
+        );
+    }
+    let worst = claim_no_overhead_up_to_8_clusters(rows);
+    let _ = writeln!(
+        out,
+        "claim check [paper: \"over 80% of the loops do not present any overhead up to 8 clusters\"]: worst no-overhead fraction for <=8 clusters = {worst:.1}% -> {}",
+        if worst >= 80.0 { "HOLDS" } else { "DOES NOT HOLD" }
+    );
+    out
+}
+
+/// Renders figure 5 as an aligned text table.
+pub fn render_fig5(rows: &[Fig5Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 5 — relative dynamic cycle count (Set1 unclustered @ 3 FUs = 100)");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "FUs", "clstrs", "S1-unclu", "S1-clust", "S2-unclu", "S2-clust", "S1 slow", "S2 slow"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>9.3} {:>9.3}",
+            r.functional_units,
+            r.clusters,
+            r.set1_unclustered,
+            r.set1_clustered,
+            r.set2_unclustered,
+            r.set2_clustered,
+            r.set1_slowdown(),
+            r.set2_slowdown()
+        );
+    }
+    out
+}
+
+/// Renders figure 6 as an aligned text table plus the paper's qualitative
+/// claims.
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 6 — IPC (useful operations only, kernel + prologue + epilogue)");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "FUs", "clstrs", "S1-unclu", "S1-clust", "S2-unclu", "S2-clust"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            r.functional_units,
+            r.clusters,
+            r.set1_unclustered,
+            r.set1_clustered,
+            r.set2_unclustered,
+            r.set2_clustered
+        );
+    }
+    let (saturates, improves) = claim_ipc_trends(rows);
+    if rows.last().map(|r| r.clusters > 7).unwrap_or(false) {
+        let _ = writeln!(
+            out,
+            "claim check [paper: Set 1 IPC levels off beyond ~21 FUs]: {}",
+            if saturates { "HOLDS" } else { "DOES NOT HOLD" }
+        );
+        let _ = writeln!(
+            out,
+            "claim check [paper: Set 2 keeps improving across the whole range]: {}",
+            if improves { "HOLDS" } else { "DOES NOT HOLD" }
+        );
+    }
+    out
+}
+
+/// Renders an ablation comparison.
+pub fn render_ablation(result: &AblationResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation — {}", result.name);
+    let _ = writeln!(
+        out,
+        "{:>8} {:>18} {:>18}",
+        "clusters", "baseline II up(%)", "variant II up(%)"
+    );
+    for b in &result.baseline {
+        let v = result
+            .variant
+            .iter()
+            .find(|v| v.clusters == b.clusters)
+            .map(|v| v.percent_increased)
+            .unwrap_or(f64::NAN);
+        let _ = writeln!(out, "{:>8} {:>18.1} {:>18.1}", b.clusters, b.percent_increased, v);
+    }
+    let _ = writeln!(
+        out,
+        "mean reduction of loops-with-overhead: {:.1} percentage points",
+        result.mean_overhead_reduction()
+    );
+    out
+}
+
+/// Figure 4 as CSV.
+pub fn fig4_csv(rows: &[Fig4Row]) -> String {
+    let mut out = String::from("clusters,loops,percent_increased,percent_no_overhead,mean_overhead,mean_moves,mean_copies\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{:.4},{:.6},{:.4},{:.4}",
+            r.clusters, r.loops, r.percent_increased, r.percent_no_overhead, r.mean_overhead, r.mean_moves, r.mean_copies
+        );
+    }
+    out
+}
+
+/// Figure 5 as CSV.
+pub fn fig5_csv(rows: &[Fig5Row]) -> String {
+    let mut out = String::from(
+        "functional_units,clusters,set1_unclustered,set1_clustered,set2_unclustered,set2_clustered\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{:.4},{:.4},{:.4}",
+            r.functional_units,
+            r.clusters,
+            r.set1_unclustered,
+            r.set1_clustered,
+            r.set2_unclustered,
+            r.set2_clustered
+        );
+    }
+    out
+}
+
+/// Figure 6 as CSV.
+pub fn fig6_csv(rows: &[Fig6Row]) -> String {
+    let mut out = String::from(
+        "functional_units,clusters,set1_unclustered,set1_clustered,set2_unclustered,set2_clustered\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{:.4},{:.4},{:.4}",
+            r.functional_units,
+            r.clusters,
+            r.set1_unclustered,
+            r.set1_clustered,
+            r.set2_unclustered,
+            r.set2_clustered
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig4_rows() -> Vec<Fig4Row> {
+        vec![
+            Fig4Row {
+                clusters: 2,
+                loops: 100,
+                percent_increased: 10.0,
+                percent_no_overhead: 90.0,
+                mean_overhead: 0.02,
+                mean_moves: 0.0,
+                mean_copies: 1.5,
+                percent_overhead_inherent: 50.0,
+            },
+            Fig4Row {
+                clusters: 8,
+                loops: 100,
+                percent_increased: 15.0,
+                percent_no_overhead: 85.0,
+                mean_overhead: 0.05,
+                mean_moves: 0.7,
+                mean_copies: 1.5,
+                percent_overhead_inherent: 50.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn fig4_rendering_contains_claim() {
+        let text = render_fig4(&fig4_rows());
+        assert!(text.contains("Figure 4"));
+        assert!(text.contains("HOLDS"));
+        assert!(text.contains("85.0"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = fig4_csv(&fig4_rows());
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("clusters,"));
+    }
+
+    #[test]
+    fn fig5_and_fig6_render() {
+        let f5 = vec![Fig5Row {
+            clusters: 1,
+            functional_units: 3,
+            set1_unclustered: 100.0,
+            set1_clustered: 100.0,
+            set2_unclustered: 100.0,
+            set2_clustered: 100.0,
+        }];
+        let f6 = vec![Fig6Row {
+            clusters: 1,
+            functional_units: 3,
+            set1_unclustered: 1.5,
+            set1_clustered: 1.5,
+            set2_unclustered: 1.8,
+            set2_clustered: 1.8,
+        }];
+        assert!(render_fig5(&f5).contains("Figure 5"));
+        assert!(render_fig6(&f6).contains("Figure 6"));
+        assert!(fig5_csv(&f5).contains("100.0000"));
+        assert!(fig6_csv(&f6).contains("1.8000"));
+    }
+}

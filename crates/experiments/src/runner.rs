@@ -1,0 +1,233 @@
+//! Scheduling the whole suite on every machine configuration.
+
+use dms_core::{dms_schedule, DmsConfig};
+use dms_machine::MachineConfig;
+use dms_sched::ims::{ims_schedule, ImsConfig};
+use dms_workloads::{generate, SuiteConfig, SuiteLoop, UnrollPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Suite to generate (the paper uses 1258 loops).
+    pub suite: SuiteConfig,
+    /// Cluster counts to evaluate (the paper uses 1..=10).
+    pub cluster_counts: Vec<u32>,
+    /// Unrolling policy applied before scheduling.
+    pub unroll: UnrollPolicy,
+    /// Worker threads for the sweep (0 = one per available core).
+    pub threads: usize,
+    /// Copy units per cluster (1 in the paper's configurations; the §5
+    /// ablation raises it).
+    pub copy_units: u32,
+    /// DMS tuning (chain policy etc.).
+    pub dms: DmsConfig,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale configuration: 1258 loops, 1–10 clusters.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            suite: SuiteConfig::paper(),
+            cluster_counts: (1..=10).collect(),
+            unroll: UnrollPolicy::default(),
+            threads: 0,
+            copy_units: 1,
+            dms: DmsConfig::default(),
+        }
+    }
+
+    /// A reduced configuration for quick runs and benches.
+    pub fn quick(num_loops: usize) -> Self {
+        ExperimentConfig { suite: SuiteConfig::small(num_loops), ..Self::paper() }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One loop scheduled on one cluster count, on both the clustered machine
+/// (DMS) and the equivalent unclustered machine (IMS).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopMeasurement {
+    /// Suite index of the loop.
+    pub loop_id: usize,
+    /// Whether the loop belongs to Set 2 (no recurrences).
+    pub set2: bool,
+    /// Number of clusters of the clustered machine (the unclustered machine
+    /// has `3 * clusters` useful FUs).
+    pub clusters: u32,
+    /// Useful operations of the (unrolled) body.
+    pub useful_ops: usize,
+    /// Trip count of the (unrolled) loop.
+    pub trip_count: u64,
+    /// II achieved by IMS on the unclustered machine.
+    pub unclustered_ii: u32,
+    /// II achieved by DMS on the clustered machine.
+    pub clustered_ii: u32,
+    /// Lower bound (MII) on the unclustered machine.
+    pub unclustered_mii: u32,
+    /// Lower bound (MII) on the clustered machine, including the copy
+    /// operations inserted by the single-use conversion.
+    pub clustered_mii: u32,
+    /// Dynamic cycles on the unclustered machine.
+    pub unclustered_cycles: u64,
+    /// Dynamic cycles on the clustered machine.
+    pub clustered_cycles: u64,
+    /// Copy operations inserted by the single-use conversion (clustered run).
+    pub copies: u64,
+    /// Move operations inserted by DMS chains (clustered run).
+    pub moves: u64,
+    /// Operations placed by strategy 2.
+    pub strategy2: u64,
+    /// Operations placed by strategy 3.
+    pub strategy3: u64,
+}
+
+impl LoopMeasurement {
+    /// Whether partitioning increased the II relative to the unclustered
+    /// ideal (the quantity plotted in figure 4).
+    pub fn ii_increased(&self) -> bool {
+        self.clustered_ii > self.unclustered_ii
+    }
+
+    /// Useful operation instances executed over the whole loop.
+    pub fn useful_instances(&self) -> u64 {
+        self.useful_ops as u64 * self.trip_count
+    }
+}
+
+/// Schedules one suite loop for one cluster count and returns the
+/// measurement, or `None` if either scheduler failed (which indicates a bug;
+/// callers treat it as fatal in tests and skip it in production sweeps).
+pub fn measure_one(
+    suite_loop: &SuiteLoop,
+    clusters: u32,
+    config: &ExperimentConfig,
+) -> Option<LoopMeasurement> {
+    let clustered_machine = if config.copy_units == 1 {
+        MachineConfig::paper_clustered(clusters)
+    } else {
+        MachineConfig::paper_clustered_with_copy_units(clusters, config.copy_units)
+    };
+    let unclustered_machine = MachineConfig::unclustered(clusters);
+    let body = dms_workloads::unroll_for_machine(
+        &suite_loop.body,
+        clustered_machine.total_useful_fus(),
+        &config.unroll,
+    );
+
+    let ims = ims_schedule(&body, &unclustered_machine, &ImsConfig::default()).ok()?;
+    let dms = dms_schedule(&body, &clustered_machine, &config.dms).ok()?;
+
+    Some(LoopMeasurement {
+        loop_id: suite_loop.id,
+        set2: suite_loop.in_set2(),
+        clusters,
+        useful_ops: body.useful_ops(),
+        trip_count: body.trip_count,
+        unclustered_ii: ims.ii(),
+        clustered_ii: dms.ii(),
+        unclustered_mii: ims.stats.mii.map(|m| m.mii()).unwrap_or(1),
+        clustered_mii: dms.stats.mii.map(|m| m.mii()).unwrap_or(1),
+        unclustered_cycles: ims.cycles(body.trip_count),
+        clustered_cycles: dms.cycles(body.trip_count),
+        copies: dms.stats.copies_inserted,
+        moves: dms.stats.moves_inserted,
+        strategy2: dms.stats.strategy2_placements,
+        strategy3: dms.stats.strategy3_placements,
+    })
+}
+
+/// Generates the suite and measures every loop on every cluster count,
+/// in parallel.
+pub fn measure_suite(config: &ExperimentConfig) -> Vec<LoopMeasurement> {
+    let suite = generate(&config.suite);
+    measure_loops(&suite, config)
+}
+
+/// Measures an already-generated suite (useful when the caller also needs the
+/// suite itself).
+pub fn measure_loops(suite: &[SuiteLoop], config: &ExperimentConfig) -> Vec<LoopMeasurement> {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        config.threads
+    };
+    let chunk_size = suite.len().div_ceil(threads.max(1)).max(1);
+    let mut results: Vec<LoopMeasurement> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in suite.chunks(chunk_size) {
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::with_capacity(chunk.len() * config.cluster_counts.len());
+                for l in chunk {
+                    for &c in &config.cluster_counts {
+                        if let Some(m) = measure_one(l, c, config) {
+                            local.push(m);
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            results.extend(h.join().expect("measurement worker panicked"));
+        }
+    });
+
+    results.sort_by_key(|m| (m.loop_id, m.clusters));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_one_row_per_loop_and_cluster_count() {
+        let mut cfg = ExperimentConfig::quick(12);
+        cfg.cluster_counts = vec![1, 2, 4];
+        let rows = measure_suite(&cfg);
+        assert_eq!(rows.len(), 12 * 3);
+        for m in &rows {
+            assert!(m.clustered_ii >= 1);
+            assert!(m.unclustered_ii >= 1);
+            assert!(m.clustered_ii >= m.unclustered_ii, "DMS can never beat the unclustered ideal II");
+        }
+    }
+
+    #[test]
+    fn single_cluster_never_shows_overhead() {
+        let mut cfg = ExperimentConfig::quick(16);
+        cfg.cluster_counts = vec![1];
+        let rows = measure_suite(&cfg);
+        assert!(rows.iter().all(|m| !m.ii_increased()), "1 cluster == the unclustered machine");
+    }
+
+    #[test]
+    fn two_cluster_overhead_only_from_copies() {
+        let mut cfg = ExperimentConfig::quick(24);
+        cfg.cluster_counts = vec![2];
+        let rows = measure_suite(&cfg);
+        for m in rows {
+            assert_eq!(m.moves, 0, "2-cluster machines never need moves");
+            if m.ii_increased() {
+                assert!(m.copies > 0, "overhead without copies on loop {}", m.loop_id);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut cfg = ExperimentConfig::quick(8);
+        cfg.cluster_counts = vec![2, 6];
+        let a = measure_suite(&cfg);
+        let b = measure_suite(&cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,257 @@
+//! Graph analyses over [`Ddg`]s: strongly connected components, recurrence
+//! detection, topological ordering of the acyclic (intra-iteration) subgraph
+//! and simple critical-path metrics.
+
+use crate::ddg::Ddg;
+use crate::op::OpId;
+use std::collections::HashSet;
+
+/// Computes the strongly connected components of the DDG (considering edges
+/// of every kind and distance), using Tarjan's algorithm. Components are
+/// returned in reverse topological order; singleton components without a
+/// self-edge are included.
+pub fn sccs(ddg: &Ddg) -> Vec<Vec<OpId>> {
+    struct State<'a> {
+        ddg: &'a Ddg,
+        index: Vec<Option<u32>>,
+        lowlink: Vec<u32>,
+        on_stack: Vec<bool>,
+        stack: Vec<OpId>,
+        next_index: u32,
+        out: Vec<Vec<OpId>>,
+    }
+
+    fn strongconnect(s: &mut State<'_>, v: OpId) {
+        s.index[v.index()] = Some(s.next_index);
+        s.lowlink[v.index()] = s.next_index;
+        s.next_index += 1;
+        s.stack.push(v);
+        s.on_stack[v.index()] = true;
+
+        let succs: Vec<OpId> = s.ddg.succs(v).map(|(_, e)| e.dst).collect();
+        for w in succs {
+            if s.index[w.index()].is_none() {
+                strongconnect(s, w);
+                s.lowlink[v.index()] = s.lowlink[v.index()].min(s.lowlink[w.index()]);
+            } else if s.on_stack[w.index()] {
+                s.lowlink[v.index()] = s.lowlink[v.index()].min(s.index[w.index()].unwrap());
+            }
+        }
+
+        if s.lowlink[v.index()] == s.index[v.index()].unwrap() {
+            let mut comp = Vec::new();
+            loop {
+                let w = s.stack.pop().expect("tarjan stack underflow");
+                s.on_stack[w.index()] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            s.out.push(comp);
+        }
+    }
+
+    let n = ddg.num_slots();
+    let mut st = State {
+        ddg,
+        index: vec![None; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        out: Vec::new(),
+    };
+    for v in ddg.live_op_ids() {
+        if st.index[v.index()].is_none() {
+            strongconnect(&mut st, v);
+        }
+    }
+    st.out
+}
+
+/// Returns the set of operations that participate in a recurrence circuit
+/// (a dependence cycle, necessarily with positive total iteration distance).
+pub fn recurrence_ops(ddg: &Ddg) -> HashSet<OpId> {
+    let mut out = HashSet::new();
+    for comp in sccs(ddg) {
+        if comp.len() > 1 {
+            out.extend(comp);
+        } else {
+            let v = comp[0];
+            if ddg.succs(v).any(|(_, e)| e.dst == v) {
+                out.insert(v);
+            }
+        }
+    }
+    out
+}
+
+/// Whether the loop contains at least one recurrence circuit. Loops without
+/// recurrences form the paper's "Set 2" (highly vectorisable, DSP-like).
+pub fn has_recurrence(ddg: &Ddg) -> bool {
+    !recurrence_ops(ddg).is_empty()
+}
+
+/// Topological order of the live operations considering only intra-iteration
+/// edges (`distance == 0`). Returns `None` if the intra-iteration subgraph is
+/// cyclic, which indicates an invalid DDG.
+pub fn topological_order(ddg: &Ddg) -> Option<Vec<OpId>> {
+    let n = ddg.num_slots();
+    let mut indegree = vec![0usize; n];
+    let mut present = vec![false; n];
+    for id in ddg.live_op_ids() {
+        present[id.index()] = true;
+    }
+    for (_, e) in ddg.live_edges() {
+        if e.distance == 0 {
+            indegree[e.dst.index()] += 1;
+        }
+    }
+    let mut queue: Vec<OpId> =
+        ddg.live_op_ids().filter(|id| indegree[id.index()] == 0).collect();
+    let mut order = Vec::with_capacity(ddg.num_live_ops());
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for (_, e) in ddg.succs(v) {
+            if e.distance == 0 {
+                indegree[e.dst.index()] -= 1;
+                if indegree[e.dst.index()] == 0 {
+                    queue.push(e.dst);
+                }
+            }
+        }
+    }
+    if order.len() == ddg.num_live_ops() {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Length (in cycles) of the longest intra-iteration dependence path, i.e.
+/// the schedule length lower bound of a single iteration on an infinitely
+/// wide machine. Returns 0 for an empty graph and `None` if the
+/// intra-iteration subgraph is cyclic.
+pub fn critical_path_length(ddg: &Ddg) -> Option<u32> {
+    let order = topological_order(ddg)?;
+    let mut finish = vec![0u32; ddg.num_slots()];
+    let mut best = 0;
+    for &v in &order {
+        let start = finish[v.index()];
+        for (_, e) in ddg.succs(v) {
+            if e.distance == 0 {
+                let cand = start + e.latency;
+                if cand > finish[e.dst.index()] {
+                    finish[e.dst.index()] = cand;
+                }
+                best = best.max(cand);
+            }
+        }
+        best = best.max(start);
+    }
+    Some(best)
+}
+
+/// The maximum number of *value reads* of any single result, i.e. the maximum
+/// flow fan-out counted per reading operand. After the single-use conversion
+/// ([`crate::transform::convert_to_single_use`]) this is at most 2.
+pub fn max_flow_fanout(ddg: &Ddg) -> usize {
+    let mut counts = vec![0usize; ddg.num_slots()];
+    for (_, op) in ddg.live_ops() {
+        for (producer, _) in op.defs_read() {
+            counts[producer.index()] += 1;
+        }
+    }
+    counts.into_iter().max().unwrap_or(0)
+}
+
+/// Checks that every dependence cycle has a positive total iteration
+/// distance (a zero-distance cycle cannot be executed by any schedule).
+pub fn cycles_have_positive_distance(ddg: &Ddg) -> bool {
+    topological_order(ddg).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::op::Operand;
+
+    #[test]
+    fn acyclic_loop_has_no_recurrence() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.load(Operand::Induction);
+        let c = b.mul(a.into(), Operand::Invariant(0));
+        b.store(c.into());
+        let l = b.finish(8);
+        assert!(!has_recurrence(&l.ddg));
+        assert!(recurrence_ops(&l.ddg).is_empty());
+        assert_eq!(sccs(&l.ddg).len(), 3);
+        assert!(cycles_have_positive_distance(&l.ddg));
+    }
+
+    #[test]
+    fn accumulator_is_a_recurrence() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.load(Operand::Induction);
+        let s = b.add_feedback(a.into(), 1);
+        b.store(s.into());
+        let l = b.finish(8);
+        assert!(has_recurrence(&l.ddg));
+        let rec = recurrence_ops(&l.ddg);
+        assert_eq!(rec.len(), 1);
+        assert!(rec.contains(&s));
+    }
+
+    #[test]
+    fn two_op_cycle_detected() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.load(Operand::Induction);
+        let x = b.add(a.into(), Operand::Immediate(0));
+        let y = b.mul(x.into(), Operand::Invariant(1));
+        // y feeds back into x one iteration later
+        b.dep(crate::DepKind::Flow, y, x, 2, 1);
+        let l = b.finish(8);
+        let rec = recurrence_ops(&l.ddg);
+        assert!(rec.contains(&x) && rec.contains(&y));
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn topological_order_respects_deps() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.load(Operand::Induction);
+        let c = b.add(a.into(), Operand::Immediate(1));
+        let d = b.mul(c.into(), a.into());
+        b.store(d.into());
+        let l = b.finish(8);
+        let order = topological_order(&l.ddg).unwrap();
+        let pos = |id: OpId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(c));
+        assert!(pos(c) < pos(d));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn critical_path_of_chain() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.load(Operand::Induction); // latency 2
+        let c = b.mul(a.into(), Operand::Invariant(0)); // latency 2
+        let d = b.add(c.into(), Operand::Immediate(1)); // latency 1
+        b.store(d.into());
+        let l = b.finish(8);
+        // load(2) + mul(2) + add(1) = 5
+        assert_eq!(critical_path_length(&l.ddg), Some(5));
+    }
+
+    #[test]
+    fn fanout_counts_value_reads() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.load(Operand::Induction);
+        let _u1 = b.add(a.into(), Operand::Immediate(1));
+        let _u2 = b.mul(a.into(), a.into()); // reads `a` twice
+        let l = b.finish(8);
+        assert_eq!(max_flow_fanout(&l.ddg), 3);
+    }
+}

@@ -1,0 +1,244 @@
+//! A library of classic numeric / DSP innermost loops.
+//!
+//! These kernels serve three purposes in the reproduction:
+//!
+//! 1. realistic inputs for the examples and integration tests,
+//! 2. seeds for the synthetic Perfect-Club-substitute suite
+//!    (`dms-workloads`), and
+//! 3. the DSP-style workloads the paper's introduction motivates (FIR/IIR
+//!    filters, dot products, stencils), which dominate its "Set 2"
+//!    (recurrence-free, highly vectorisable) loop class.
+
+use crate::builder::LoopBuilder;
+use crate::op::{OpKind, Operand};
+use crate::Loop;
+
+/// `y[i] = a * x[i] + y[i]` — the BLAS `axpy` kernel. No recurrence.
+pub fn daxpy(trip_count: u64) -> Loop {
+    let mut b = LoopBuilder::new("daxpy");
+    let x = b.load(Operand::Induction);
+    let y = b.load(Operand::Induction);
+    let ax = b.mul(x.into(), Operand::Invariant(0));
+    let s = b.add(ax.into(), y.into());
+    b.store(s.into());
+    b.finish(trip_count)
+}
+
+/// `s += a[i] * b[i]` — dot product with an accumulator recurrence.
+pub fn dot_product(trip_count: u64) -> Loop {
+    let mut b = LoopBuilder::new("dot_product");
+    let a = b.load(Operand::Induction);
+    let x = b.load(Operand::Induction);
+    let m = b.mul(a.into(), x.into());
+    let s = b.add_feedback(m.into(), 1);
+    b.store(s.into());
+    b.finish(trip_count)
+}
+
+/// `y[i] = sum_k h[k] * x[i - k]` — an FIR filter with `taps` taps,
+/// fully unrolled over the taps. No recurrence (each output is independent).
+///
+/// # Panics
+///
+/// Panics if `taps == 0`.
+pub fn fir(taps: usize, trip_count: u64) -> Loop {
+    assert!(taps > 0, "an FIR filter needs at least one tap");
+    let mut b = LoopBuilder::new(format!("fir{taps}"));
+    let mut acc: Option<Operand> = None;
+    for k in 0..taps {
+        let x = b.load(Operand::Induction);
+        let m = b.mul(x.into(), Operand::Invariant(k as u32));
+        acc = Some(match acc {
+            None => m.into(),
+            Some(prev) => b.add(prev, m.into()).into(),
+        });
+    }
+    b.store(acc.expect("taps > 0"));
+    b.finish(trip_count)
+}
+
+/// `y[i] = a * x[i] + b * y[i-1]` — a first-order IIR filter. The feedback
+/// through `y[i-1]` forms a recurrence circuit containing a multiply and an
+/// add.
+pub fn iir(trip_count: u64) -> Loop {
+    let mut b = LoopBuilder::new("iir1");
+    let x = b.load(Operand::Induction);
+    let ax = b.mul(x.into(), Operand::Invariant(0));
+    // y = ax + b*y@(i-1): build as y = feedback-add over (ax + (b * y_prev))
+    // which we express with an explicit two-op circuit.
+    let by = b.op(OpKind::Mul, vec![Operand::Invariant(1)]); // second operand patched below
+    let y = b.add(ax.into(), by.into());
+    // close the circuit: by reads y from the previous iteration
+    let add_lat = b.latency_spec().add;
+    b.dep(crate::DepKind::Flow, y, by, add_lat, 1);
+    b.push_read(by, Operand::def_at(y, 1));
+    b.store(y.into());
+    b.finish(trip_count)
+}
+
+/// `c[i] = (a[i-1] + a[i] + a[i+1]) * w` — a 3-point stencil. No recurrence.
+pub fn stencil3(trip_count: u64) -> Loop {
+    let mut b = LoopBuilder::new("stencil3");
+    let l = b.load(Operand::Induction);
+    let c = b.load(Operand::Induction);
+    let r = b.load(Operand::Induction);
+    let s1 = b.add(l.into(), c.into());
+    let s2 = b.add(s1.into(), r.into());
+    let m = b.mul(s2.into(), Operand::Invariant(0));
+    b.store(m.into());
+    b.finish(trip_count)
+}
+
+/// Livermore kernel 5 (tri-diagonal elimination):
+/// `x[i] = z[i] * (y[i] - x[i-1])` — a recurrence through subtract and
+/// multiply.
+pub fn livermore5(trip_count: u64) -> Loop {
+    let mut b = LoopBuilder::new("livermore5");
+    let z = b.load(Operand::Induction);
+    let y = b.load(Operand::Induction);
+    let diff = b.op(OpKind::Sub, vec![y.into()]); // second operand patched below
+    let x = b.mul(z.into(), diff.into());
+    let mul_lat = b.latency_spec().mul;
+    b.dep(crate::DepKind::Flow, x, diff, mul_lat, 1);
+    b.push_read(diff, Operand::def_at(x, 1));
+    b.store(x.into());
+    b.finish(trip_count)
+}
+
+/// Complex multiply: `c[i] = a[i] * b[i]` over complex numbers
+/// (4 multiplies, an add and a subtract, 2 stores). No recurrence.
+pub fn complex_multiply(trip_count: u64) -> Loop {
+    let mut b = LoopBuilder::new("cmul");
+    let ar = b.load(Operand::Induction);
+    let ai = b.load(Operand::Induction);
+    let br = b.load(Operand::Induction);
+    let bi = b.load(Operand::Induction);
+    let rr = b.mul(ar.into(), br.into());
+    let ii = b.mul(ai.into(), bi.into());
+    let ri = b.mul(ar.into(), bi.into());
+    let ir = b.mul(ai.into(), br.into());
+    let re = b.sub(rr.into(), ii.into());
+    let im = b.add(ri.into(), ir.into());
+    b.store(re.into());
+    b.store(im.into());
+    b.finish(trip_count)
+}
+
+/// `p[i] = p[i-1] + a[i]` — prefix sum (scan), the canonical tight
+/// recurrence.
+pub fn prefix_sum(trip_count: u64) -> Loop {
+    let mut b = LoopBuilder::new("prefix_sum");
+    let a = b.load(Operand::Induction);
+    let p = b.add_feedback(a.into(), 1);
+    b.store(p.into());
+    b.finish(trip_count)
+}
+
+/// Horner evaluation of a degree-`degree` polynomial at `x[i]`:
+/// `y = (((c_n x + c_{n-1}) x + ...) x + c_0)`. A long intra-iteration
+/// dependence chain but no recurrence.
+///
+/// # Panics
+///
+/// Panics if `degree == 0`.
+pub fn horner(degree: usize, trip_count: u64) -> Loop {
+    assert!(degree > 0, "polynomial degree must be at least 1");
+    let mut b = LoopBuilder::new(format!("horner{degree}"));
+    let x = b.load(Operand::Induction);
+    let mut acc: Operand = Operand::Invariant(0);
+    for k in 0..degree {
+        let m = b.mul(acc, x.into());
+        let a = b.add(m.into(), Operand::Invariant(k as u32 + 1));
+        acc = a.into();
+    }
+    b.store(acc);
+    b.finish(trip_count)
+}
+
+/// `y[i] = a * x[i]` — vector scaling, the smallest useful loop.
+pub fn vector_scale(trip_count: u64) -> Loop {
+    let mut b = LoopBuilder::new("vscale");
+    let x = b.load(Operand::Induction);
+    let m = b.mul(x.into(), Operand::Invariant(0));
+    b.store(m.into());
+    b.finish(trip_count)
+}
+
+/// Inner loop of a dense matrix multiply (`c += a[k] * b[k]`); structurally a
+/// dot product but kept separate so examples can talk about "matmul".
+pub fn matmul_inner(trip_count: u64) -> Loop {
+    let mut l = dot_product(trip_count);
+    l.name = "matmul_inner".to_string();
+    l
+}
+
+/// All kernels with reasonable default parameters, used by examples, tests
+/// and as seeds of the synthetic suite.
+pub fn all(trip_count: u64) -> Vec<Loop> {
+    vec![
+        daxpy(trip_count),
+        dot_product(trip_count),
+        fir(4, trip_count),
+        fir(8, trip_count),
+        iir(trip_count),
+        stencil3(trip_count),
+        livermore5(trip_count),
+        complex_multiply(trip_count),
+        prefix_sum(trip_count),
+        horner(4, trip_count),
+        vector_scale(trip_count),
+        matmul_inner(trip_count),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn kernel_suite_is_well_formed() {
+        for l in all(64) {
+            assert!(l.ddg.validate().is_ok(), "kernel {} has an invalid DDG", l.name);
+            assert!(
+                analysis::cycles_have_positive_distance(&l.ddg),
+                "kernel {} has a zero-distance cycle",
+                l.name
+            );
+            assert!(l.useful_ops() >= 3, "kernel {} is too small", l.name);
+        }
+    }
+
+    #[test]
+    fn recurrence_classification_matches_expectation() {
+        assert!(!analysis::has_recurrence(&daxpy(8).ddg));
+        assert!(!analysis::has_recurrence(&fir(4, 8).ddg));
+        assert!(!analysis::has_recurrence(&stencil3(8).ddg));
+        assert!(!analysis::has_recurrence(&complex_multiply(8).ddg));
+        assert!(!analysis::has_recurrence(&horner(3, 8).ddg));
+        assert!(!analysis::has_recurrence(&vector_scale(8).ddg));
+        assert!(analysis::has_recurrence(&dot_product(8).ddg));
+        assert!(analysis::has_recurrence(&iir(8).ddg));
+        assert!(analysis::has_recurrence(&livermore5(8).ddg));
+        assert!(analysis::has_recurrence(&prefix_sum(8).ddg));
+    }
+
+    #[test]
+    fn fir_size_scales_with_taps() {
+        assert!(fir(8, 8).ddg.num_live_ops() > fir(2, 8).ddg.num_live_ops());
+        assert_eq!(fir(1, 8).ddg.num_live_ops(), 3); // load, mul, store
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn fir_zero_taps_panics() {
+        let _ = fir(0, 8);
+    }
+
+    #[test]
+    fn iir_recurrence_spans_two_ops() {
+        let l = iir(8);
+        let rec = analysis::recurrence_ops(&l.ddg);
+        assert_eq!(rec.len(), 2);
+    }
+}

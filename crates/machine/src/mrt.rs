@@ -1,0 +1,278 @@
+//! The Modulo Reservation Table (MRT).
+//!
+//! A modulo schedule with initiation interval `II` issues the same pattern of
+//! operations every `II` cycles, so a resource used at time `t` is busy at
+//! every time congruent to `t` modulo `II`. The MRT therefore has `II` rows;
+//! each row records, per cluster and functional-unit class, which operations
+//! occupy the units of that class in that row.
+
+use crate::config::MachineConfig;
+use crate::fu::FuKind;
+use crate::topology::ClusterId;
+use dms_ir::OpId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned when a reservation cannot be made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtError {
+    /// All units of the requested class in the requested cluster are already
+    /// occupied in the requested row; the conflicting occupants are returned.
+    Full {
+        /// The operations occupying the requested units.
+        occupants: Vec<OpId>,
+    },
+    /// The operation already holds a reservation.
+    AlreadyPlaced(OpId),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Full { occupants } => {
+                write!(f, "no free unit in the requested slot (occupied by {occupants:?})")
+            }
+            MrtError::AlreadyPlaced(op) => write!(f, "{op} already holds a reservation"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+/// A placement of an operation in the MRT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Absolute schedule time of the operation.
+    pub time: u32,
+    /// Cluster hosting the operation.
+    pub cluster: ClusterId,
+    /// Functional-unit class the operation occupies.
+    pub fu: FuKind,
+}
+
+/// The modulo reservation table for one machine configuration and one II.
+#[derive(Debug, Clone)]
+pub struct Mrt {
+    ii: u32,
+    num_clusters: u32,
+    capacity: Vec<u32>,
+    slots: Vec<Vec<OpId>>,
+    placements: HashMap<OpId, Placement>,
+}
+
+impl Mrt {
+    /// Creates an empty reservation table for the given machine and II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(config: &MachineConfig, ii: u32) -> Self {
+        assert!(ii > 0, "the initiation interval must be at least 1");
+        let num_clusters = config.num_clusters();
+        let columns = (num_clusters as usize) * FuKind::ALL.len();
+        let mut capacity = vec![0u32; columns];
+        for c in config.cluster_ids() {
+            for kind in FuKind::ALL {
+                capacity[c.index() * FuKind::ALL.len() + kind.index()] = config.fu_count(c, kind);
+            }
+        }
+        Mrt {
+            ii,
+            num_clusters,
+            capacity,
+            slots: vec![Vec::new(); columns * ii as usize],
+            placements: HashMap::new(),
+        }
+    }
+
+    /// The initiation interval this table was built for.
+    #[inline]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    #[inline]
+    fn column(&self, cluster: ClusterId, fu: FuKind) -> usize {
+        cluster.index() * FuKind::ALL.len() + fu.index()
+    }
+
+    #[inline]
+    fn slot_index(&self, time: u32, cluster: ClusterId, fu: FuKind) -> usize {
+        (time % self.ii) as usize * self.capacity.len() + self.column(cluster, fu)
+    }
+
+    /// Number of units of `fu` in `cluster`.
+    #[inline]
+    pub fn capacity(&self, cluster: ClusterId, fu: FuKind) -> u32 {
+        self.capacity[self.column(cluster, fu)]
+    }
+
+    /// The operations occupying units of `fu` in `cluster` in the row of
+    /// `time`.
+    pub fn occupants(&self, time: u32, cluster: ClusterId, fu: FuKind) -> &[OpId] {
+        &self.slots[self.slot_index(time, cluster, fu)]
+    }
+
+    /// Whether at least one unit of `fu` in `cluster` is free in the row of
+    /// `time`.
+    pub fn has_free(&self, time: u32, cluster: ClusterId, fu: FuKind) -> bool {
+        self.free_at(time, cluster, fu) > 0
+    }
+
+    /// Number of free units of `fu` in `cluster` in the row of `time`.
+    pub fn free_at(&self, time: u32, cluster: ClusterId, fu: FuKind) -> u32 {
+        self.capacity(cluster, fu)
+            .saturating_sub(self.occupants(time, cluster, fu).len() as u32)
+    }
+
+    /// Reserves one unit of `fu` in `cluster` at `time` for `op`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MrtError::Full`] (with the conflicting occupants) if no unit
+    /// is free, or [`MrtError::AlreadyPlaced`] if `op` already holds a
+    /// reservation.
+    pub fn reserve(
+        &mut self,
+        op: OpId,
+        time: u32,
+        cluster: ClusterId,
+        fu: FuKind,
+    ) -> Result<(), MrtError> {
+        if self.placements.contains_key(&op) {
+            return Err(MrtError::AlreadyPlaced(op));
+        }
+        if !self.has_free(time, cluster, fu) {
+            return Err(MrtError::Full { occupants: self.occupants(time, cluster, fu).to_vec() });
+        }
+        let idx = self.slot_index(time, cluster, fu);
+        self.slots[idx].push(op);
+        self.placements.insert(op, Placement { time, cluster, fu });
+        Ok(())
+    }
+
+    /// Releases the reservation held by `op`, returning its placement if it
+    /// had one.
+    pub fn release(&mut self, op: OpId) -> Option<Placement> {
+        let placement = self.placements.remove(&op)?;
+        let idx = self.slot_index(placement.time, placement.cluster, placement.fu);
+        self.slots[idx].retain(|&o| o != op);
+        Some(placement)
+    }
+
+    /// The placement of `op`, if it holds a reservation.
+    pub fn placement(&self, op: OpId) -> Option<Placement> {
+        self.placements.get(&op).copied()
+    }
+
+    /// Number of operations currently holding reservations.
+    pub fn num_placed(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Total number of free unit-slots of `fu` in `cluster` across all rows
+    /// of the table. This is the quantity DMS maximises when choosing between
+    /// alternative move chains.
+    pub fn free_slots(&self, cluster: ClusterId, fu: FuKind) -> u32 {
+        let cap = self.capacity(cluster, fu);
+        (0..self.ii)
+            .map(|row| {
+                let used = self.slots
+                    [row as usize * self.capacity.len() + self.column(cluster, fu)]
+                .len() as u32;
+                cap.saturating_sub(used)
+            })
+            .sum()
+    }
+
+    /// Utilisation (0..=1) of units of `fu` in `cluster` over the whole
+    /// kernel.
+    pub fn utilisation(&self, cluster: ClusterId, fu: FuKind) -> f64 {
+        let cap = self.capacity(cluster, fu) * self.ii;
+        if cap == 0 {
+            return 0.0;
+        }
+        let used = cap - self.free_slots(cluster, fu);
+        used as f64 / cap as f64
+    }
+
+    /// Number of clusters of the underlying machine.
+    #[inline]
+    pub fn num_clusters(&self) -> u32 {
+        self.num_clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Mrt {
+        Mrt::new(&MachineConfig::paper_clustered(2), 3)
+    }
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut mrt = table();
+        let op = OpId(0);
+        assert!(mrt.has_free(5, ClusterId(1), FuKind::Add));
+        mrt.reserve(op, 5, ClusterId(1), FuKind::Add).unwrap();
+        assert!(!mrt.has_free(5, ClusterId(1), FuKind::Add));
+        // same row modulo II (5 % 3 == 2) is also busy
+        assert!(!mrt.has_free(2, ClusterId(1), FuKind::Add));
+        // a different row is free
+        assert!(mrt.has_free(3, ClusterId(1), FuKind::Add));
+        let p = mrt.release(op).unwrap();
+        assert_eq!(p, Placement { time: 5, cluster: ClusterId(1), fu: FuKind::Add });
+        assert!(mrt.has_free(5, ClusterId(1), FuKind::Add));
+        assert_eq!(mrt.num_placed(), 0);
+    }
+
+    #[test]
+    fn full_slot_reports_occupants() {
+        let mut mrt = table();
+        mrt.reserve(OpId(0), 1, ClusterId(0), FuKind::Mul).unwrap();
+        let err = mrt.reserve(OpId(1), 4, ClusterId(0), FuKind::Mul).unwrap_err();
+        assert_eq!(err, MrtError::Full { occupants: vec![OpId(0)] });
+    }
+
+    #[test]
+    fn double_reservation_rejected() {
+        let mut mrt = table();
+        mrt.reserve(OpId(0), 0, ClusterId(0), FuKind::Add).unwrap();
+        let err = mrt.reserve(OpId(0), 1, ClusterId(0), FuKind::Add).unwrap_err();
+        assert_eq!(err, MrtError::AlreadyPlaced(OpId(0)));
+    }
+
+    #[test]
+    fn free_slots_counts_whole_column() {
+        let mut mrt = table();
+        assert_eq!(mrt.free_slots(ClusterId(0), FuKind::Copy), 3);
+        mrt.reserve(OpId(0), 0, ClusterId(0), FuKind::Copy).unwrap();
+        mrt.reserve(OpId(1), 2, ClusterId(0), FuKind::Copy).unwrap();
+        assert_eq!(mrt.free_slots(ClusterId(0), FuKind::Copy), 1);
+        assert!((mrt.utilisation(ClusterId(0), FuKind::Copy) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(mrt.free_slots(ClusterId(1), FuKind::Copy), 3);
+    }
+
+    #[test]
+    fn capacity_follows_machine_config() {
+        let mrt = Mrt::new(&MachineConfig::unclustered(5), 4);
+        assert_eq!(mrt.capacity(ClusterId(0), FuKind::LoadStore), 5);
+        assert_eq!(mrt.capacity(ClusterId(0), FuKind::Copy), 5);
+        assert_eq!(mrt.num_clusters(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation interval")]
+    fn zero_ii_panics() {
+        let _ = Mrt::new(&MachineConfig::paper_clustered(1), 0);
+    }
+
+    #[test]
+    fn release_unplaced_returns_none() {
+        let mut mrt = table();
+        assert!(mrt.release(OpId(9)).is_none());
+        assert!(mrt.placement(OpId(9)).is_none());
+    }
+}

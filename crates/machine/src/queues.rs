@@ -1,0 +1,212 @@
+//! Queue register files: the Local Register File (LRF) of each cluster and
+//! the Communication Queue Register Files (CQRFs) between adjacent clusters.
+//!
+//! A CQRF sits between two adjacent clusters of the ring and is directional:
+//! one cluster has write-only access, the other read-only access. Sending a
+//! value to a neighbouring cluster therefore needs no explicit instruction —
+//! the producer simply writes its result into the appropriate CQRF and the
+//! consumer reads it from there. A value can be read **only once** from a
+//! queue, which is why multiple-use lifetimes are converted to single-use
+//! lifetimes before scheduling.
+
+use crate::topology::{ClusterId, Ring};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a directional CQRF: written by `writer`, read by `reader`.
+/// The two clusters must be adjacent on the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CqrfId {
+    /// The cluster with write-only access.
+    pub writer: ClusterId,
+    /// The cluster with read-only access.
+    pub reader: ClusterId,
+}
+
+impl CqrfId {
+    /// The CQRF used to send a value from `writer` to the adjacent `reader`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clusters are not adjacent on the given ring (or are the
+    /// same cluster — intra-cluster values live in the LRF, not a CQRF).
+    pub fn between(ring: &Ring, writer: ClusterId, reader: ClusterId) -> Self {
+        assert!(
+            ring.distance(writer, reader) == 1,
+            "a CQRF only exists between adjacent clusters ({writer} and {reader} are not adjacent)"
+        );
+        CqrfId { writer, reader }
+    }
+
+    /// Enumerates every CQRF of a machine with the given ring (two per pair
+    /// of adjacent clusters, one per direction). A two-cluster ring has
+    /// exactly two CQRFs; a single-cluster machine has none.
+    pub fn all(ring: &Ring) -> Vec<CqrfId> {
+        let mut out = Vec::new();
+        if ring.len() < 2 {
+            return out;
+        }
+        for c in ring.iter() {
+            let next = ring.step(c, crate::topology::Direction::Clockwise);
+            if next == c {
+                continue;
+            }
+            out.push(CqrfId { writer: c, reader: next });
+            out.push(CqrfId { writer: next, reader: c });
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for CqrfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CQRF[{}->{}]", self.writer, self.reader)
+    }
+}
+
+/// A FIFO queue register file with bounded capacity and single-read
+/// semantics, used by the simulator for both LRF queues and CQRFs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueFile<T> {
+    capacity: usize,
+    values: VecDeque<T>,
+    /// Highest occupancy ever observed; reported by the register-requirement
+    /// statistics.
+    high_water: usize,
+    /// Number of pushes rejected because the queue was full.
+    overflows: u64,
+}
+
+impl<T> QueueFile<T> {
+    /// Creates an empty queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a queue register file needs a positive capacity");
+        QueueFile { capacity, values: VecDeque::new(), high_water: 0, overflows: 0 }
+    }
+
+    /// Capacity of the queue.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of values held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the queue holds no value.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the queue is full.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.values.len() >= self.capacity
+    }
+
+    /// Appends a value at the tail. Returns `false` (and records an
+    /// overflow) if the queue is full.
+    pub fn push(&mut self, value: T) -> bool {
+        if self.is_full() {
+            self.overflows += 1;
+            return false;
+        }
+        self.values.push_back(value);
+        self.high_water = self.high_water.max(self.values.len());
+        true
+    }
+
+    /// Removes and returns the value at the head (single-read semantics).
+    pub fn pop(&mut self) -> Option<T> {
+        self.values.pop_front()
+    }
+
+    /// Peeks at the head value without consuming it.
+    pub fn peek(&self) -> Option<&T> {
+        self.values.front()
+    }
+
+    /// Highest occupancy ever observed.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Number of rejected pushes.
+    #[inline]
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Ring;
+
+    #[test]
+    fn cqrf_between_adjacent_clusters() {
+        let ring = Ring::new(4);
+        let q = CqrfId::between(&ring, ClusterId(3), ClusterId(0));
+        assert_eq!(q.writer, ClusterId(3));
+        assert_eq!(q.reader, ClusterId(0));
+        assert_eq!(q.to_string(), "CQRF[C3->C0]");
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn cqrf_between_distant_clusters_panics() {
+        let ring = Ring::new(6);
+        let _ = CqrfId::between(&ring, ClusterId(0), ClusterId(3));
+    }
+
+    #[test]
+    fn cqrf_enumeration() {
+        assert_eq!(CqrfId::all(&Ring::new(1)).len(), 0);
+        assert_eq!(CqrfId::all(&Ring::new(2)).len(), 2);
+        // a ring of C >= 3 clusters has C adjacent pairs, two CQRFs each
+        assert_eq!(CqrfId::all(&Ring::new(3)).len(), 6);
+        assert_eq!(CqrfId::all(&Ring::new(8)).len(), 16);
+    }
+
+    #[test]
+    fn queue_fifo_and_single_read() {
+        let mut q: QueueFile<i64> = QueueFile::new(2);
+        assert!(q.is_empty());
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(q.is_full());
+        assert!(!q.push(3));
+        assert_eq!(q.overflows(), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn queue_peek_does_not_consume() {
+        let mut q: QueueFile<&str> = QueueFile::new(4);
+        q.push("a");
+        assert_eq!(q.peek(), Some(&"a"));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_queue_panics() {
+        let _: QueueFile<u8> = QueueFile::new(0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The bi-directional ring topology connecting the clusters.
+//!
+//! Clusters are arranged in a ring; cluster `i` is adjacent to clusters
+//! `(i ± 1) mod C`. Two operations with a flow dependence may be scheduled
+//! in the same cluster (value passes through the LRF) or in adjacent
+//! clusters (value passes through the CQRF between them); any larger ring
+//! distance requires a *chain* of `move` operations and, if none can be
+//! built, constitutes a **communication conflict**.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cluster (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// Returns the identifier as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Direction of travel around the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards increasing cluster indices (cluster `i` → `i + 1 mod C`).
+    Clockwise,
+    /// Towards decreasing cluster indices (cluster `i` → `i - 1 mod C`).
+    CounterClockwise,
+}
+
+impl Direction {
+    /// Both directions, in a stable order.
+    pub const BOTH: [Direction; 2] = [Direction::Clockwise, Direction::CounterClockwise];
+}
+
+/// A simple path around the ring from one cluster to another, including both
+/// endpoints. The clusters strictly between the endpoints are the ones that
+/// must host `move` operations of a DMS chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingPath {
+    /// Direction of travel.
+    pub direction: Direction,
+    /// The clusters visited, starting at the source and ending at the
+    /// destination.
+    pub clusters: Vec<ClusterId>,
+}
+
+impl RingPath {
+    /// Number of ring hops (edges) along the path.
+    pub fn hops(&self) -> usize {
+        self.clusters.len().saturating_sub(1)
+    }
+
+    /// The intermediate clusters (those that need a `move` operation when
+    /// the path is realised as a chain).
+    pub fn intermediates(&self) -> &[ClusterId] {
+        if self.clusters.len() <= 2 {
+            &[]
+        } else {
+            &self.clusters[1..self.clusters.len() - 1]
+        }
+    }
+}
+
+/// The ring topology of a machine with a given number of clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ring {
+    clusters: u32,
+}
+
+impl Ring {
+    /// Creates a ring with the given number of clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters == 0`.
+    pub fn new(clusters: u32) -> Self {
+        assert!(clusters > 0, "a machine needs at least one cluster");
+        Ring { clusters }
+    }
+
+    /// Number of clusters in the ring.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.clusters
+    }
+
+    /// Whether the ring has a single cluster (an unclustered machine).
+    #[inline]
+    pub fn is_single(&self) -> bool {
+        self.clusters == 1
+    }
+
+    /// Iterates over all cluster identifiers.
+    pub fn iter(&self) -> impl Iterator<Item = ClusterId> {
+        (0..self.clusters).map(ClusterId)
+    }
+
+    /// The next cluster in the given direction.
+    pub fn step(&self, from: ClusterId, dir: Direction) -> ClusterId {
+        let c = self.clusters;
+        match dir {
+            Direction::Clockwise => ClusterId((from.0 + 1) % c),
+            Direction::CounterClockwise => ClusterId((from.0 + c - 1) % c),
+        }
+    }
+
+    /// Minimum ring distance between two clusters (0 for the same cluster).
+    pub fn distance(&self, a: ClusterId, b: ClusterId) -> u32 {
+        let c = self.clusters;
+        let d = (a.0 as i64 - b.0 as i64).unsigned_abs() as u32 % c;
+        d.min(c - d)
+    }
+
+    /// Distance travelling only in the given direction.
+    pub fn directed_distance(&self, from: ClusterId, to: ClusterId, dir: Direction) -> u32 {
+        let c = self.clusters;
+        match dir {
+            Direction::Clockwise => (to.0 + c - from.0) % c,
+            Direction::CounterClockwise => (from.0 + c - to.0) % c,
+        }
+    }
+
+    /// Whether two clusters can exchange a value without a chain: the same
+    /// cluster (via the LRF) or adjacent clusters (via a CQRF).
+    pub fn directly_connected(&self, a: ClusterId, b: ClusterId) -> bool {
+        self.distance(a, b) <= 1
+    }
+
+    /// The path from `from` to `to` travelling in direction `dir`, including
+    /// both endpoints. For `from == to` the path is the single cluster.
+    pub fn path(&self, from: ClusterId, to: ClusterId, dir: Direction) -> RingPath {
+        let mut clusters = vec![from];
+        let mut cur = from;
+        while cur != to {
+            cur = self.step(cur, dir);
+            clusters.push(cur);
+        }
+        RingPath { direction: dir, clusters }
+    }
+
+    /// The (at most two distinct) simple paths between two clusters, shortest
+    /// first. For adjacent or identical clusters only the shortest path(s)
+    /// that actually differ are returned.
+    pub fn paths(&self, from: ClusterId, to: ClusterId) -> Vec<RingPath> {
+        if from == to {
+            return vec![self.path(from, to, Direction::Clockwise)];
+        }
+        let cw = self.path(from, to, Direction::Clockwise);
+        let ccw = self.path(from, to, Direction::CounterClockwise);
+        if cw.clusters == ccw.clusters {
+            return vec![cw];
+        }
+        let mut v = vec![cw, ccw];
+        v.sort_by_key(RingPath::hops);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_on_a_ring_of_six() {
+        let r = Ring::new(6);
+        assert_eq!(r.distance(ClusterId(0), ClusterId(0)), 0);
+        assert_eq!(r.distance(ClusterId(0), ClusterId(1)), 1);
+        assert_eq!(r.distance(ClusterId(0), ClusterId(5)), 1);
+        assert_eq!(r.distance(ClusterId(0), ClusterId(3)), 3);
+        assert_eq!(r.distance(ClusterId(1), ClusterId(4)), 3);
+        assert_eq!(r.distance(ClusterId(2), ClusterId(5)), 3);
+    }
+
+    #[test]
+    fn directed_distance_and_step() {
+        let r = Ring::new(4);
+        assert_eq!(r.directed_distance(ClusterId(3), ClusterId(1), Direction::Clockwise), 2);
+        assert_eq!(
+            r.directed_distance(ClusterId(3), ClusterId(1), Direction::CounterClockwise),
+            2
+        );
+        assert_eq!(r.step(ClusterId(3), Direction::Clockwise), ClusterId(0));
+        assert_eq!(r.step(ClusterId(0), Direction::CounterClockwise), ClusterId(3));
+    }
+
+    #[test]
+    fn direct_connectivity() {
+        let r = Ring::new(8);
+        assert!(r.directly_connected(ClusterId(0), ClusterId(0)));
+        assert!(r.directly_connected(ClusterId(0), ClusterId(1)));
+        assert!(r.directly_connected(ClusterId(0), ClusterId(7)));
+        assert!(!r.directly_connected(ClusterId(0), ClusterId(2)));
+        // with 2 clusters everything is directly connected
+        let r2 = Ring::new(2);
+        assert!(r2.directly_connected(ClusterId(0), ClusterId(1)));
+        // with 3 clusters everything is adjacent on a ring
+        let r3 = Ring::new(3);
+        assert!(r3.directly_connected(ClusterId(0), ClusterId(2)));
+    }
+
+    #[test]
+    fn paths_enumerate_both_directions() {
+        let r = Ring::new(6);
+        let ps = r.paths(ClusterId(0), ClusterId(2));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].hops(), 2);
+        assert_eq!(ps[1].hops(), 4);
+        assert_eq!(ps[0].intermediates(), &[ClusterId(1)]);
+        assert_eq!(ps[1].intermediates(), &[ClusterId(5), ClusterId(4), ClusterId(3)]);
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let r = Ring::new(4);
+        let ps = r.paths(ClusterId(2), ClusterId(2));
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].hops(), 0);
+        assert!(ps[0].intermediates().is_empty());
+    }
+
+    #[test]
+    fn opposite_point_on_even_ring_gives_two_equal_length_paths() {
+        let r = Ring::new(4);
+        let ps = r.paths(ClusterId(0), ClusterId(2));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].hops(), 2);
+        assert_eq!(ps[1].hops(), 2);
+    }
+
+    #[test]
+    fn two_cluster_ring_paths_are_deduplicated() {
+        let r = Ring::new(2);
+        let ps = r.paths(ClusterId(0), ClusterId(1));
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].hops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let _ = Ring::new(0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # dms-regalloc — Lifetimes and queue register file allocation
+//!
+//! The paper's architecture stores loop-variant lifetimes in *queue* register
+//! files: the Local Register File (LRF) of the producing cluster for
+//! intra-cluster values, and the Communication Queue Register File (CQRF)
+//! between two adjacent clusters for values that cross a cluster boundary
+//! (Fernandes, Llosa, Topham, EURO-PAR'97 describe the allocation scheme this
+//! module reproduces).
+//!
+//! After modulo scheduling, every value-carrying (flow) dependence of the
+//! scheduled DDG becomes one *lifetime*. This crate computes, per lifetime,
+//! how many values of it are simultaneously in flight (its queue depth) and
+//! aggregates the per-LRF and per-CQRF register requirements, which is the
+//! quantity a hardware designer needs to size the queue files.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codegen;
+pub mod lifetime;
+pub mod queues;
+
+pub use codegen::{emit, VliwProgram};
+pub use lifetime::{lifetimes, Lifetime, LifetimeClass};
+pub use queues::{allocate, AllocError, RegAllocResult};

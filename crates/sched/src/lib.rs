@@ -1,0 +1,32 @@
+//! # dms-sched — Modulo scheduling framework and the IMS baseline
+//!
+//! This crate implements the machinery shared by both schedulers of the
+//! reproduction:
+//!
+//! * [`mii`] — lower bounds on the initiation interval: the resource-bound
+//!   `ResMII` and the recurrence-bound `RecMII`,
+//! * [`priority`] — Rau's height-based scheduling priority,
+//! * [`schedule`] — the modulo-schedule representation, stage counts and the
+//!   dynamic cycle/IPC model used by the paper's figures,
+//! * [`validate`] — an independent checker for dependence, resource and
+//!   communication constraints,
+//! * [`ims`] — **Iterative Modulo Scheduling** (Rau), the scheduler used for
+//!   the unclustered baseline machine in the paper's experiments.
+//!
+//! The DMS scheduler itself (cluster-aware scheduling with move chains) lives
+//! in the `dms-core` crate and builds on the types defined here.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ims;
+pub mod mii;
+pub mod priority;
+pub mod schedule;
+pub mod validate;
+
+pub use ims::{ims_schedule, ImsConfig};
+pub use mii::{mii, rec_mii, res_mii, MiiBreakdown};
+pub use priority::heights;
+pub use schedule::{ScheduleError, ScheduledOp, ScheduleResult, SchedStats, Schedule};
+pub use validate::{validate_schedule, Violation};

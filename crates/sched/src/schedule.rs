@@ -1,0 +1,284 @@
+//! The modulo-schedule representation and the dynamic execution model used
+//! by the paper's figures.
+
+use dms_ir::{Ddg, OpId};
+use dms_machine::ClusterId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::mii::MiiBreakdown;
+
+/// Placement of one operation in the modulo schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledOp {
+    /// Absolute issue time within the flat (single-iteration) schedule.
+    pub time: u32,
+    /// Cluster executing the operation.
+    pub cluster: ClusterId,
+}
+
+impl ScheduledOp {
+    /// The stage (`time / II`) of the operation.
+    pub fn stage(&self, ii: u32) -> u32 {
+        self.time / ii
+    }
+
+    /// The row of the modulo reservation table (`time % II`).
+    pub fn row(&self, ii: u32) -> u32 {
+        self.time % ii
+    }
+}
+
+/// A complete modulo schedule of one loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    ii: u32,
+    ops: Vec<Option<ScheduledOp>>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule with the given II for a DDG with
+    /// `num_slots` operation slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(ii: u32, num_slots: usize) -> Self {
+        assert!(ii > 0, "the initiation interval must be at least 1");
+        Schedule { ii, ops: vec![None; num_slots] }
+    }
+
+    /// The initiation interval.
+    #[inline]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Places (or re-places) an operation.
+    pub fn place(&mut self, op: OpId, time: u32, cluster: ClusterId) {
+        if op.index() >= self.ops.len() {
+            self.ops.resize(op.index() + 1, None);
+        }
+        self.ops[op.index()] = Some(ScheduledOp { time, cluster });
+    }
+
+    /// Removes the placement of an operation.
+    pub fn remove(&mut self, op: OpId) {
+        if let Some(slot) = self.ops.get_mut(op.index()) {
+            *slot = None;
+        }
+    }
+
+    /// The placement of an operation, if it is scheduled.
+    #[inline]
+    pub fn get(&self, op: OpId) -> Option<ScheduledOp> {
+        self.ops.get(op.index()).copied().flatten()
+    }
+
+    /// Iterates over all placed operations.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, ScheduledOp)> + '_ {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|sched| (OpId(i as u32), sched)))
+    }
+
+    /// Number of placed operations.
+    pub fn len(&self) -> usize {
+        self.ops.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no operation is placed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The latest issue time of any placed operation (0 for an empty
+    /// schedule).
+    pub fn max_time(&self) -> u32 {
+        self.iter().map(|(_, s)| s.time).max().unwrap_or(0)
+    }
+
+    /// Number of kernel stages: `floor(max_time / II) + 1`. The prologue and
+    /// epilogue each contain `stages - 1` copies of the kernel rows.
+    pub fn stage_count(&self) -> u32 {
+        self.max_time() / self.ii + 1
+    }
+
+    /// Total number of cycles needed to execute `trip_count` iterations:
+    /// `(trip_count + stages - 1) * II`. This is the dynamic measurement the
+    /// paper's figure 5 reports (summed over all loops).
+    pub fn cycles(&self, trip_count: u64) -> u64 {
+        (trip_count + self.stage_count() as u64 - 1) * self.ii as u64
+    }
+
+    /// Instructions per cycle achieved over `trip_count` iterations, counting
+    /// only the `useful_ops` useful operations of one iteration (copy and
+    /// move operations are excluded, as in the paper's figure 6).
+    pub fn ipc(&self, trip_count: u64, useful_ops: usize) -> f64 {
+        let cycles = self.cycles(trip_count);
+        if cycles == 0 {
+            return 0.0;
+        }
+        (trip_count as f64 * useful_ops as f64) / cycles as f64
+    }
+}
+
+/// Statistics gathered while scheduling one loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Lower bounds on the II for this loop/machine pair.
+    pub mii: Option<MiiBreakdown>,
+    /// Number of operations evicted (unscheduled) during scheduling.
+    pub evictions: u64,
+    /// Number of `Copy` operations inserted by the single-use conversion.
+    pub copies_inserted: u64,
+    /// Number of `Move` operations inserted by DMS chains (strategy 2).
+    pub moves_inserted: u64,
+    /// Number of operations placed by strategy 1 (no conflicts).
+    pub strategy1_placements: u64,
+    /// Number of operations placed by strategy 2 (chains of moves).
+    pub strategy2_placements: u64,
+    /// Number of operations placed by strategy 3 (forced placement).
+    pub strategy3_placements: u64,
+    /// Scheduling budget consumed (number of placement attempts).
+    pub budget_used: u64,
+    /// Number of candidate IIs tried before success.
+    pub ii_attempts: u32,
+}
+
+/// The result of scheduling one loop.
+///
+/// `ddg` is the graph the schedule refers to — for DMS it contains the copy
+/// and move operations inserted during compilation, so it generally differs
+/// from the input loop body.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// Name of the scheduled loop.
+    pub loop_name: String,
+    /// The (possibly transformed) DDG the schedule refers to.
+    pub ddg: Ddg,
+    /// The modulo schedule.
+    pub schedule: Schedule,
+    /// Scheduling statistics.
+    pub stats: SchedStats,
+}
+
+impl ScheduleResult {
+    /// The achieved initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.schedule.ii()
+    }
+
+    /// Number of useful operations in the scheduled DDG.
+    pub fn useful_ops(&self) -> usize {
+        self.ddg.live_ops().filter(|(_, o)| o.kind.is_useful()).count()
+    }
+
+    /// Dynamic cycle count for the given trip count.
+    pub fn cycles(&self, trip_count: u64) -> u64 {
+        self.schedule.cycles(trip_count)
+    }
+
+    /// IPC (useful operations only) for the given trip count.
+    pub fn ipc(&self, trip_count: u64) -> f64 {
+        self.schedule.ipc(trip_count, self.useful_ops())
+    }
+}
+
+/// Errors reported by the schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No valid schedule was found up to the II limit.
+    IiLimitReached {
+        /// The largest II that was attempted.
+        limit: u32,
+    },
+    /// The loop cannot be scheduled on this machine at any II (for example a
+    /// required functional-unit class has zero units).
+    Unschedulable(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::IiLimitReached { limit } => {
+                write!(f, "no valid schedule found up to II = {limit}")
+            }
+            ScheduleError::Unschedulable(reason) => write!(f, "loop is unschedulable: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Convenience: number of useful operations of a DDG.
+pub fn useful_ops(ddg: &Ddg) -> usize {
+    ddg.live_ops().filter(|(_, o)| o.kind.is_useful()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_get_remove() {
+        let mut s = Schedule::new(2, 4);
+        s.place(OpId(1), 5, ClusterId(0));
+        assert_eq!(s.get(OpId(1)), Some(ScheduledOp { time: 5, cluster: ClusterId(0) }));
+        assert_eq!(s.get(OpId(0)), None);
+        assert_eq!(s.len(), 1);
+        s.remove(OpId(1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn place_beyond_initial_capacity_grows() {
+        let mut s = Schedule::new(3, 1);
+        s.place(OpId(7), 2, ClusterId(1));
+        assert_eq!(s.get(OpId(7)).unwrap().cluster, ClusterId(1));
+    }
+
+    #[test]
+    fn stage_and_row() {
+        let op = ScheduledOp { time: 7, cluster: ClusterId(0) };
+        assert_eq!(op.stage(3), 2);
+        assert_eq!(op.row(3), 1);
+    }
+
+    #[test]
+    fn cycle_and_ipc_model() {
+        // II = 2, ops at times 0 and 5 -> stages = 3
+        let mut s = Schedule::new(2, 2);
+        s.place(OpId(0), 0, ClusterId(0));
+        s.place(OpId(1), 5, ClusterId(0));
+        assert_eq!(s.stage_count(), 3);
+        // (100 + 3 - 1) * 2 = 204
+        assert_eq!(s.cycles(100), 204);
+        // 2 useful ops per iteration
+        let ipc = s.ipc(100, 2);
+        assert!((ipc - 200.0 / 204.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipc_of_empty_trip_count() {
+        let s = Schedule::new(4, 1);
+        assert_eq!(s.cycles(0), 0);
+        assert_eq!(s.ipc(0, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation interval")]
+    fn zero_ii_schedule_panics() {
+        let _ = Schedule::new(0, 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            ScheduleError::IiLimitReached { limit: 64 }.to_string(),
+            "no valid schedule found up to II = 64"
+        );
+        assert!(ScheduleError::Unschedulable("no adder".into()).to_string().contains("no adder"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic value semantics shared by the reference interpreter and the
+//! pipelined executor.
+//!
+//! The goal is not to model real program data but to give every operation a
+//! deterministic, input-dependent value so that any mis-routed operand (wrong
+//! producer, wrong iteration, wrong queue order) changes the values reaching
+//! the stores and is therefore detected by the cross-check.
+
+use dms_ir::{OpId, OpKind};
+
+/// Value of a loop-invariant input.
+pub fn invariant_value(index: u32) -> i64 {
+    1_000 + 7 * index as i64
+}
+
+/// Initial ("live-in") value of a loop-carried dependence: the value an
+/// operation is considered to have produced in iteration `iteration < 0`.
+pub fn initial_value(op: OpId, iteration: i64) -> i64 {
+    (op.0 as i64 + 1) * 1_000_003 + iteration
+}
+
+/// A cheap deterministic mixing function used as the "memory contents"
+/// returned by loads.
+fn mix(x: i64) -> i64 {
+    let mut v = x.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64);
+    v ^= v >> 29;
+    v = v.wrapping_mul(0xBF58_476D_1CE4_E5B9u64 as i64);
+    v ^= v >> 32;
+    v
+}
+
+/// Computes the result of one operation instance given the values of its
+/// read operands and the iteration index.
+///
+/// Stores return the value being stored (the quantity recorded in the output
+/// trace); copies and moves are identities.
+pub fn apply(kind: OpKind, operands: &[i64], iteration: u64) -> i64 {
+    let a = operands.first().copied().unwrap_or(0);
+    let b = operands.get(1).copied().unwrap_or(0);
+    match kind {
+        OpKind::Load => mix(a.wrapping_add(iteration as i64)),
+        OpKind::Store => a,
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Mul => a.wrapping_mul(b),
+        OpKind::Div => {
+            if b == 0 {
+                a
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        OpKind::Copy | OpKind::Move => a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_semantics() {
+        assert_eq!(apply(OpKind::Add, &[3, 4], 0), 7);
+        assert_eq!(apply(OpKind::Sub, &[3, 4], 0), -1);
+        assert_eq!(apply(OpKind::Mul, &[3, 4], 0), 12);
+        assert_eq!(apply(OpKind::Div, &[12, 4], 0), 3);
+        assert_eq!(apply(OpKind::Div, &[12, 0], 0), 12, "division by zero is defined as identity");
+        assert_eq!(apply(OpKind::Copy, &[42], 0), 42);
+        assert_eq!(apply(OpKind::Move, &[42], 0), 42);
+        assert_eq!(apply(OpKind::Store, &[9, 1], 0), 9);
+    }
+
+    #[test]
+    fn loads_depend_on_address_and_iteration() {
+        let v1 = apply(OpKind::Load, &[10], 0);
+        let v2 = apply(OpKind::Load, &[10], 1);
+        let v3 = apply(OpKind::Load, &[11], 0);
+        assert_ne!(v1, v2);
+        assert_ne!(v1, v3);
+        // deterministic
+        assert_eq!(v1, apply(OpKind::Load, &[10], 0));
+    }
+
+    #[test]
+    fn initial_values_are_distinct_per_op_and_iteration() {
+        assert_ne!(initial_value(OpId(0), -1), initial_value(OpId(1), -1));
+        assert_ne!(initial_value(OpId(0), -1), initial_value(OpId(0), -2));
+    }
+
+    #[test]
+    fn invariants_are_deterministic() {
+        assert_eq!(invariant_value(3), invariant_value(3));
+        assert_ne!(invariant_value(3), invariant_value(4));
+    }
+}

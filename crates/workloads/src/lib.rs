@@ -1,0 +1,25 @@
+//! # dms-workloads — The loop suite driving the experiments
+//!
+//! The paper evaluates DMS on "all eligible innermost loops from the Perfect
+//! Club Benchmark ... a total of 1258 loops suitable for software
+//! pipelining". The Perfect Club sources and the authors' Fortran front-end
+//! are not available, so this crate provides the substitution documented in
+//! `DESIGN.md`: a deterministic, seeded synthetic suite of 1258 loop DDGs
+//! whose structural properties (body size, operation mix, presence and depth
+//! of recurrences, trip counts) follow the ranges reported for
+//! software-pipelinable numeric loops in the modulo-scheduling literature,
+//! seeded with the classic kernels of [`dms_ir::kernels`].
+//!
+//! The crate also implements the unrolling policy the paper applies before
+//! scheduling ("loop unrolling was performed to provide additional operations
+//! to the scheduler whenever necessary") and the Set 1 / Set 2 classification
+//! (all loops vs. loops without recurrences).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod suite;
+pub mod unrolling;
+
+pub use suite::{generate, suite_stats, LoopClass, SuiteConfig, SuiteLoop, SuiteStats};
+pub use unrolling::{unroll_for_machine, UnrollPolicy};

@@ -1,0 +1,72 @@
+//! DSP scenario: a 16-tap FIR filter on increasingly wide clustered
+//! machines.
+//!
+//! The paper motivates clustered VLIWs with DSP and numeric loops; an FIR
+//! filter is the canonical example. This example schedules the same filter
+//! for 1–8 clusters (3 useful FUs each), compares DMS on the clustered
+//! machine against IMS on the equivalent unclustered machine, and reports
+//! where the values travel (LRF vs CQRF) and how many queue registers each
+//! file needs.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fir_filter
+//! ```
+
+use dms_core::{dms_schedule, DmsConfig};
+use dms_ir::kernels;
+use dms_machine::MachineConfig;
+use dms_regalloc::allocate;
+use dms_sched::ims::{ims_schedule, ImsConfig};
+use dms_sched::validate_schedule;
+use dms_sim::simulate;
+
+fn main() {
+    let taps = 16;
+    let samples = 4_096;
+    let fir = kernels::fir(taps, samples);
+    println!(
+        "{}-tap FIR filter, {} useful operations per output sample, {} samples\n",
+        taps,
+        fir.useful_ops(),
+        samples
+    );
+    println!(
+        "{:>8} {:>4} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7} {:>10} {:>9}",
+        "clusters", "FUs", "IMS II", "DMS II", "IMS IPC", "DMS IPC", "moves", "copies", "cross-vals", "max CQRF"
+    );
+
+    for clusters in 1..=8u32 {
+        let clustered = MachineConfig::paper_clustered(clusters);
+        let unclustered = MachineConfig::unclustered(clusters);
+
+        let ims = ims_schedule(&fir, &unclustered, &ImsConfig::default()).expect("IMS schedules the FIR");
+        let dms = dms_schedule(&fir, &clustered, &DmsConfig::default()).expect("DMS schedules the FIR");
+        assert!(validate_schedule(&dms.ddg, &clustered, &dms.schedule).is_empty());
+
+        let report = simulate(&dms, &clustered, samples).expect("the schedule executes correctly");
+        let registers = allocate(&dms, &clustered).expect("queue allocation succeeds");
+
+        println!(
+            "{:>8} {:>4} {:>8} {:>8} {:>9.2} {:>9.2} {:>7} {:>7} {:>10} {:>9}",
+            clusters,
+            clustered.total_useful_fus(),
+            ims.ii(),
+            dms.ii(),
+            ims.ipc(samples),
+            dms.ipc(samples),
+            dms.stats.moves_inserted,
+            dms.stats.copies_inserted,
+            report.cross_cluster_values,
+            registers.max_cqrf(),
+        );
+    }
+
+    println!(
+        "\nReading the table: the unclustered machine (IMS) is the ideal; DMS pays a small II\n\
+         overhead once the filter has to spread across many clusters, and values start to\n\
+         travel through the inter-cluster queues (CQRFs) — exactly the behaviour figure 5\n\
+         and figure 6 of the paper aggregate over the whole loop suite."
+    );
+}

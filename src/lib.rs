@@ -1,0 +1,15 @@
+//! Workspace root crate for the DMS (Distributed Modulo Scheduling, HPCA
+//! 1999) reproduction.
+//!
+//! The actual library lives in the member crates; this crate only re-exports
+//! them so that the runnable `examples/` and the cross-crate integration
+//! tests in `tests/` have a single, convenient dependency.
+
+pub use dms_core as core;
+pub use dms_experiments as experiments;
+pub use dms_ir as ir;
+pub use dms_machine as machine;
+pub use dms_regalloc as regalloc;
+pub use dms_sched as sched;
+pub use dms_sim as sim;
+pub use dms_workloads as workloads;
