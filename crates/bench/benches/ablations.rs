@@ -40,9 +40,10 @@ fn ablation_chain_policy(c: &mut Criterion) {
     // Per-kernel view: scheduling a wide loop under both policies.
     let l = transform::unroll(&kernels::fir(8, 512), 2);
     let machine = MachineConfig::paper_clustered(8);
-    for (name, policy) in
-        [("max_free_slots", ChainPolicy::MaxFreeSlots), ("shortest_path", ChainPolicy::ShortestPath)]
-    {
+    for (name, policy) in [
+        ("max_free_slots", ChainPolicy::MaxFreeSlots),
+        ("shortest_path", ChainPolicy::ShortestPath),
+    ] {
         group.bench_with_input(BenchmarkId::new("fir8x2", name), &policy, |b, &p| {
             let cfg = DmsConfig { chain_policy: p, ..DmsConfig::default() };
             b.iter(|| dms_schedule(&l, &machine, &cfg).unwrap());
@@ -56,9 +57,10 @@ fn ablation_single_use(c: &mut Criterion) {
     group.sample_size(20);
     let l = kernels::horner(6, 1_000);
     let machine = MachineConfig::paper_clustered(1);
-    for (name, policy) in
-        [("with_conversion", SingleUsePolicy::Always), ("without_conversion", SingleUsePolicy::Never)]
-    {
+    for (name, policy) in [
+        ("with_conversion", SingleUsePolicy::Always),
+        ("without_conversion", SingleUsePolicy::Never),
+    ] {
         group.bench_with_input(BenchmarkId::new("horner6_1_cluster", name), &policy, |b, &p| {
             let cfg = DmsConfig { single_use: p, ..DmsConfig::default() };
             b.iter(|| dms_schedule(&l, &machine, &cfg).unwrap());

@@ -17,21 +17,16 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// How strategy 2 chooses between the alternative ring directions of a chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ChainPolicy {
     /// The paper's policy: among the feasible options, pick the one that
     /// maximises the number of Copy-unit slots left free in the most loaded
     /// cluster; if equivalent, pick the option with the fewest moves.
+    #[default]
     MaxFreeSlots,
     /// Ablation: always take the shorter ring path (fewer moves), regardless
     /// of how loaded the Copy units along it are.
     ShortestPath,
-}
-
-impl Default for ChainPolicy {
-    fn default() -> Self {
-        ChainPolicy::MaxFreeSlots
-    }
 }
 
 /// A planned (not yet committed) chain realising one flow dependence.
@@ -120,12 +115,8 @@ pub fn plan_for_cluster(
     let mut op_ready = state.earliest_start(op);
 
     // One chain per scheduled flow predecessor that is too far away.
-    let pred_edges: Vec<DepEdge> = state
-        .ddg
-        .flow_preds(op)
-        .filter(|(_, e)| e.src != op)
-        .map(|(_, e)| *e)
-        .collect();
+    let pred_edges: Vec<DepEdge> =
+        state.ddg.flow_preds(op).filter(|(_, e)| e.src != op).map(|(_, e)| *e).collect();
     for edge in pred_edges {
         let Some(p) = state.schedule.get(edge.src) else { continue };
         if ring.directly_connected(p.cluster, cluster) {
@@ -260,12 +251,7 @@ pub fn best_option(
     }
     match policy {
         ChainPolicy::MaxFreeSlots => options.sort_by_key(|o| {
-            (
-                std::cmp::Reverse(o.min_copy_slack),
-                o.total_moves,
-                o.op_ready,
-                o.cluster,
-            )
+            (std::cmp::Reverse(o.min_copy_slack), o.total_moves, o.op_ready, o.cluster)
         }),
         ChainPolicy::ShortestPath => {
             options.sort_by_key(|o| (o.total_moves, o.op_ready, o.cluster))
@@ -329,11 +315,11 @@ mod tests {
         )
         .expect("feasible");
         assert_eq!(plan.moves.len(), 2); // clusters 1 and 2
-        // first move at or after producer time + load latency (2)
+                                         // first move at or after producer time + load latency (2)
         assert!(plan.moves[0].1 >= 7);
         // consecutive moves at least move-latency apart
-        assert!(plan.moves[1].1 >= plan.moves[0].1 + 1);
-        assert!(plan.consumer_ready >= plan.moves[1].1 + 1);
+        assert!(plan.moves[1].1 > plan.moves[0].1);
+        assert!(plan.consumer_ready > plan.moves[1].1);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use dms_ir::transform::convert_to_single_use;
 use dms_ir::{Ddg, Loop, OpId};
 use dms_machine::{ClusterId, FuKind, MachineConfig};
 use dms_sched::mii::mii;
-use dms_sched::schedule::{Schedule, ScheduleError, ScheduleResult, SchedStats};
+use dms_sched::schedule::{SchedStats, Schedule, ScheduleError, ScheduleResult};
 use serde::{Deserialize, Serialize};
 
 /// When to apply the single-use (copy-insertion) lifetime conversion.
@@ -259,12 +259,7 @@ mod tests {
         let r = dms_schedule(l, machine, config)
             .unwrap_or_else(|e| panic!("{} failed to schedule: {e}", l.name));
         let violations = validate_schedule(&r.ddg, machine, &r.schedule);
-        assert!(
-            violations.is_empty(),
-            "{}: schedule has violations: {:?}",
-            l.name,
-            violations
-        );
+        assert!(violations.is_empty(), "{}: schedule has violations: {:?}", l.name, violations);
         assert!(r.ddg.validate().is_ok(), "{}: DDG corrupted by scheduling", l.name);
         r
     }
@@ -323,7 +318,11 @@ mod tests {
         let r = check(&l, &m, &DmsConfig::default());
         let used: std::collections::HashSet<_> =
             r.schedule.iter().map(|(_, s)| s.cluster).collect();
-        assert!(used.len() >= 4, "a 40-op loop should use several of the 8 clusters, used {}", used.len());
+        assert!(
+            used.len() >= 4,
+            "a 40-op loop should use several of the 8 clusters, used {}",
+            used.len()
+        );
     }
 
     #[test]
@@ -372,8 +371,9 @@ mod tests {
         for l in kernels::all(64) {
             for clusters in [2, 3] {
                 let d = check(&l, &MachineConfig::paper_clustered(clusters), &DmsConfig::default());
-                let i = ims_schedule(&l, &MachineConfig::unclustered(clusters), &ImsConfig::default())
-                    .unwrap();
+                let i =
+                    ims_schedule(&l, &MachineConfig::unclustered(clusters), &ImsConfig::default())
+                        .unwrap();
                 if d.ii() > i.ii() {
                     assert!(d.stats.copies_inserted > 0, "{}: overhead without copies", l.name);
                 }
@@ -395,11 +395,8 @@ mod tests {
     fn extra_copy_units_never_hurt() {
         let l = kernels::fir(12, 256);
         let one = check(&l, &MachineConfig::paper_clustered(6), &DmsConfig::default());
-        let two = check(
-            &l,
-            &MachineConfig::paper_clustered_with_copy_units(6, 2),
-            &DmsConfig::default(),
-        );
+        let two =
+            check(&l, &MachineConfig::paper_clustered_with_copy_units(6, 2), &DmsConfig::default());
         assert!(two.ii() <= one.ii());
     }
 

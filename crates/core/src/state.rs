@@ -121,8 +121,7 @@ impl SchedulerState {
                 continue;
             }
             if let Some(p) = self.schedule.get(e.src) {
-                let bound =
-                    p.time as i64 + e.latency as i64 - self.ii as i64 * e.distance as i64;
+                let bound = p.time as i64 + e.latency as i64 - self.ii as i64 * e.distance as i64;
                 estart = estart.max(bound);
             }
         }
@@ -223,8 +222,7 @@ impl SchedulerState {
             .filter(|(_, e)| e.dst != op)
             .filter_map(|(_, e)| {
                 self.schedule.get(e.dst).and_then(|d| {
-                    let bound =
-                        time as i64 + e.latency as i64 - self.ii as i64 * e.distance as i64;
+                    let bound = time as i64 + e.latency as i64 - self.ii as i64 * e.distance as i64;
                     ((d.time as i64) < bound).then_some(e.dst)
                 })
             })
@@ -277,9 +275,10 @@ impl SchedulerState {
         // chains), so re-scan after every removal instead of precomputing
         // indices.
         loop {
-            let pos = self.chains.iter().position(|c| {
-                c.producer == op || c.consumer == op || c.moves.contains(&op)
-            });
+            let pos = self
+                .chains
+                .iter()
+                .position(|c| c.producer == op || c.consumer == op || c.moves.contains(&op));
             match pos {
                 Some(i) => {
                     let chain = self.chains.remove(i);
@@ -343,11 +342,7 @@ impl SchedulerState {
     ///
     /// Panics if any move slot is not actually free — chain planning must
     /// have verified availability.
-    pub fn commit_chain(
-        &mut self,
-        edge: DepEdge,
-        moves: &[(ClusterId, u32)],
-    ) -> Vec<OpId> {
+    pub fn commit_chain(&mut self, edge: DepEdge, moves: &[(ClusterId, u32)]) -> Vec<OpId> {
         debug_assert!(!moves.is_empty(), "a chain needs at least one move");
         let producer = edge.src;
         let consumer = edge.dst;

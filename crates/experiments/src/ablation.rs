@@ -53,11 +53,7 @@ pub fn copy_unit_ablation(config: &ExperimentConfig, copy_units: u32) -> Ablatio
     let baseline = figure4(&measure_loops(&suite, config));
     let variant_cfg = ExperimentConfig { copy_units, ..config.clone() };
     let variant = figure4(&measure_loops(&suite, &variant_cfg));
-    AblationResult {
-        name: format!("copy units per cluster: 1 vs {copy_units}"),
-        baseline,
-        variant,
-    }
+    AblationResult { name: format!("copy units per cluster: 1 vs {copy_units}"), baseline, variant }
 }
 
 /// Chain-policy ablation: the paper's max-free-slots selection vs the naive

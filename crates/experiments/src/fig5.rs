@@ -104,7 +104,12 @@ mod tests {
         // the clustered machine is never meaningfully faster than the
         // unclustered ideal
         for r in &rows {
-            assert!(r.set1_slowdown() >= 0.98, "slowdown {} at {} FUs", r.set1_slowdown(), r.functional_units);
+            assert!(
+                r.set1_slowdown() >= 0.98,
+                "slowdown {} at {} FUs",
+                r.set1_slowdown(),
+                r.functional_units
+            );
             assert!(r.set2_slowdown() >= 0.98);
         }
         // functional-unit labelling

@@ -33,9 +33,7 @@ pub fn figure6(measurements: &[LoopMeasurement]) -> Vec<Fig6Row> {
     clusters.dedup();
 
     let ipc = |c: u32, set2_only: bool, clustered: bool| -> f64 {
-        let rows = measurements
-            .iter()
-            .filter(|m| m.clusters == c && (!set2_only || m.set2));
+        let rows = measurements.iter().filter(|m| m.clusters == c && (!set2_only || m.set2));
         let mut instructions = 0u64;
         let mut cycles = 0u64;
         for m in rows {

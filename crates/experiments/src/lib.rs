@@ -11,7 +11,10 @@
 //!   over 3–30 functional units ([`fig5`]);
 //! * **Figure 6** — IPC for the same four series ([`fig6`]).
 //!
-//! [`runner`] produces the raw per-loop measurements shared by all figures,
+//! [`runner`] produces the raw per-loop measurements shared by all figures
+//! (fanning the (loop × cluster-count) grid out across worker threads with
+//! deterministic, worker-count-independent results — see
+//! [`runner::measure_loops_with_stats`]),
 //! [`ablation`] adds the two ablations motivated by the paper's §5
 //! discussion (extra Copy units; chain-direction policy), and [`report`]
 //! renders everything as aligned text tables and CSV.
@@ -29,4 +32,6 @@ pub mod runner;
 pub use fig4::{figure4, Fig4Row};
 pub use fig5::{figure5, Fig5Row};
 pub use fig6::{figure6, Fig6Row};
-pub use runner::{measure_suite, ExperimentConfig, LoopMeasurement};
+pub use runner::{
+    measure_suite, measure_suite_with_stats, ExperimentConfig, LoopMeasurement, SweepStats,
+};

@@ -10,7 +10,7 @@
 
 use dms_experiments::ablation::{chain_policy_ablation, copy_unit_ablation};
 use dms_experiments::report;
-use dms_experiments::{figure4, figure5, figure6, measure_suite, ExperimentConfig};
+use dms_experiments::{figure4, figure5, figure6, measure_suite_with_stats, ExperimentConfig};
 use std::process::ExitCode;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +28,8 @@ struct Cli {
     config: ExperimentConfig,
     csv_dir: Option<String>,
 }
+
+const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T]";
 
 fn parse_args() -> Result<Cli, String> {
     let mut command = Command::All;
@@ -62,10 +64,8 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--csv" => csv_dir = Some(args.next().ok_or("--csv needs a directory")?),
             "--help" | "-h" => {
-                return Err(
-                    "usage: dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T]"
-                        .to_string(),
-                )
+                println!("{USAGE}");
+                std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -110,13 +110,24 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let started = std::time::Instant::now();
-    let measurements = measure_suite(&cli.config);
+    let (measurements, stats) = measure_suite_with_stats(&cli.config);
     println!(
-        "scheduled {} (loop, machine) pairs twice (IMS + DMS) in {:.1} s\n",
-        measurements.len(),
-        started.elapsed().as_secs_f64()
+        "swept {} (loop, machine) tasks twice (IMS + DMS) on {} thread{} in {:.2} s \
+         — {:.0} schedules/s, {:.1}M useful op instances covered",
+        stats.tasks,
+        stats.threads,
+        if stats.threads == 1 { "" } else { "s" },
+        stats.wall_seconds,
+        stats.schedules_per_second(),
+        stats.useful_instances as f64 / 1e6,
     );
+    if stats.failed > 0 {
+        eprintln!("warning: {} tasks skipped because a scheduler failed", stats.failed);
+    }
+    println!();
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(dir, "measurements.csv", &report::measurements_csv(&measurements));
+    }
 
     if matches!(cli.command, Command::Fig4 | Command::All) {
         let rows = figure4(&measurements);

@@ -4,7 +4,43 @@ use crate::ablation::AblationResult;
 use crate::fig4::{claim_no_overhead_up_to_8_clusters, Fig4Row};
 use crate::fig5::Fig5Row;
 use crate::fig6::{claim_ipc_trends, Fig6Row};
+use crate::runner::LoopMeasurement;
 use std::fmt::Write as _;
+
+/// Raw per-(loop, cluster-count) measurements as CSV, in sweep order.
+///
+/// Every field is integral, so the rendering is exact: two sweeps of the same
+/// configuration produce byte-identical output regardless of the worker
+/// count (the determinism regression test relies on this).
+pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
+    let mut out = String::from(
+        "loop_id,set2,clusters,useful_ops,trip_count,unclustered_ii,clustered_ii,\
+         unclustered_mii,clustered_mii,unclustered_cycles,clustered_cycles,\
+         copies,moves,strategy2,strategy3\n",
+    );
+    for m in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            m.loop_id,
+            m.set2,
+            m.clusters,
+            m.useful_ops,
+            m.trip_count,
+            m.unclustered_ii,
+            m.clustered_ii,
+            m.unclustered_mii,
+            m.clustered_mii,
+            m.unclustered_cycles,
+            m.clustered_cycles,
+            m.copies,
+            m.moves,
+            m.strategy2,
+            m.strategy3
+        );
+    }
+    out
+}
 
 /// Renders figure 4 as an aligned text table plus the paper's headline claim.
 pub fn render_fig4(rows: &[Fig4Row]) -> String {
@@ -13,7 +49,14 @@ pub fn render_fig4(rows: &[Fig4Row]) -> String {
     let _ = writeln!(
         out,
         "{:>8} {:>6} {:>12} {:>14} {:>14} {:>12} {:>12} {:>12}",
-        "clusters", "loops", "II up (%)", "no overhead(%)", "mean ovhd(%)", "moves/loop", "copies/loop", "inherent(%)"
+        "clusters",
+        "loops",
+        "II up (%)",
+        "no overhead(%)",
+        "mean ovhd(%)",
+        "moves/loop",
+        "copies/loop",
+        "inherent(%)"
     );
     for r in rows {
         let _ = writeln!(
@@ -30,18 +73,23 @@ pub fn render_fig4(rows: &[Fig4Row]) -> String {
         );
     }
     let worst = claim_no_overhead_up_to_8_clusters(rows);
-    let _ = writeln!(
-        out,
-        "claim check [paper: \"over 80% of the loops do not present any overhead up to 8 clusters\"]: worst no-overhead fraction for <=8 clusters = {worst:.1}% -> {}",
-        if worst >= 80.0 { "HOLDS" } else { "DOES NOT HOLD" }
-    );
+    if worst.is_finite() {
+        let _ = writeln!(
+            out,
+            "claim check [paper: \"over 80% of the loops do not present any overhead up to 8 clusters\"]: worst no-overhead fraction for <=8 clusters = {worst:.1}% -> {}",
+            if worst >= 80.0 { "HOLDS" } else { "DOES NOT HOLD" }
+        );
+    } else {
+        let _ = writeln!(out, "claim check skipped: no rows for <=8 clusters");
+    }
     out
 }
 
 /// Renders figure 5 as an aligned text table.
 pub fn render_fig5(rows: &[Fig5Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 5 — relative dynamic cycle count (Set1 unclustered @ 3 FUs = 100)");
+    let _ =
+        writeln!(out, "Figure 5 — relative dynamic cycle count (Set1 unclustered @ 3 FUs = 100)");
     let _ = writeln!(
         out,
         "{:>4} {:>6} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
@@ -106,11 +154,8 @@ pub fn render_fig6(rows: &[Fig6Row]) -> String {
 pub fn render_ablation(result: &AblationResult) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Ablation — {}", result.name);
-    let _ = writeln!(
-        out,
-        "{:>8} {:>18} {:>18}",
-        "clusters", "baseline II up(%)", "variant II up(%)"
-    );
+    let _ =
+        writeln!(out, "{:>8} {:>18} {:>18}", "clusters", "baseline II up(%)", "variant II up(%)");
     for b in &result.baseline {
         let v = result
             .variant
@@ -135,7 +180,13 @@ pub fn fig4_csv(rows: &[Fig4Row]) -> String {
         let _ = writeln!(
             out,
             "{},{},{:.4},{:.4},{:.6},{:.4},{:.4}",
-            r.clusters, r.loops, r.percent_increased, r.percent_no_overhead, r.mean_overhead, r.mean_moves, r.mean_copies
+            r.clusters,
+            r.loops,
+            r.percent_increased,
+            r.percent_no_overhead,
+            r.mean_overhead,
+            r.mean_moves,
+            r.mean_copies
         );
     }
     out
@@ -216,6 +267,32 @@ mod tests {
         assert!(text.contains("Figure 4"));
         assert!(text.contains("HOLDS"));
         assert!(text.contains("85.0"));
+    }
+
+    #[test]
+    fn measurements_csv_is_exact_and_ordered() {
+        let m = LoopMeasurement {
+            loop_id: 3,
+            set2: true,
+            clusters: 4,
+            useful_ops: 12,
+            trip_count: 100,
+            unclustered_ii: 2,
+            clustered_ii: 3,
+            unclustered_mii: 2,
+            clustered_mii: 3,
+            unclustered_cycles: 230,
+            clustered_cycles: 330,
+            copies: 5,
+            moves: 1,
+            strategy2: 2,
+            strategy3: 0,
+        };
+        let csv = measurements_csv(&[m]);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("loop_id,set2,clusters"));
+        assert_eq!(lines.next().unwrap(), "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0");
+        assert_eq!(lines.next(), None);
     }
 
     #[test]

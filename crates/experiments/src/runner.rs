@@ -1,10 +1,28 @@
-//! Scheduling the whole suite on every machine configuration.
+//! Scheduling the whole suite on every machine configuration: the parallel
+//! sweep engine.
+//!
+//! The paper-scale sweep is a grid of (loop × cluster-count) tasks — 1258
+//! loops × 10 cluster counts, each scheduled twice (IMS on the unclustered
+//! machine and DMS on the clustered one). Task cost varies by an order of
+//! magnitude with body size and cluster count, so a static chunking of the
+//! suite leaves workers idle behind the unlucky chunk. [`measure_loops`]
+//! instead runs a work-stealing executor: every worker claims small batches
+//! of task indices from a shared lock-free cursor, so fast workers steal the
+//! tail of the grid from slow ones automatically.
+//!
+//! Results are written into a pre-allocated slot per task index, which makes
+//! the output **deterministic by construction**: the returned vector is
+//! identical — contents *and* order — for `threads = 1` and `threads = N`,
+//! and carries no trace of scheduling noise into the figures or CSV files.
 
 use dms_core::{dms_schedule, DmsConfig};
 use dms_machine::MachineConfig;
 use dms_sched::ims::{ims_schedule, ImsConfig};
 use dms_workloads::{generate, SuiteConfig, SuiteLoop, UnrollPolicy};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Parameters of one experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -100,6 +118,55 @@ impl LoopMeasurement {
     }
 }
 
+/// Aggregate throughput of one sweep, reported by the `_with_stats` entry
+/// points and printed by the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// (loop, cluster-count) tasks in the grid.
+    pub tasks: usize,
+    /// Tasks that produced a measurement.
+    pub completed: usize,
+    /// Tasks skipped because a scheduler failed (0 in a healthy run).
+    pub failed: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock duration of the sweep.
+    pub wall_seconds: f64,
+    /// Useful operation instances covered by the completed measurements.
+    pub useful_instances: u64,
+}
+
+impl SweepStats {
+    /// Schedulers invoked: every task runs both IMS and DMS.
+    pub fn schedules(&self) -> u64 {
+        2 * self.tasks as u64
+    }
+
+    /// Grid tasks per wall-clock second.
+    pub fn tasks_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.tasks as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Scheduler invocations per wall-clock second.
+    pub fn schedules_per_second(&self) -> f64 {
+        2.0 * self.tasks_per_second()
+    }
+}
+
+/// Resolves a `threads` request (0 = one worker per available core) to a
+/// concrete worker count.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        requested
+    }
+}
+
 /// Schedules one suite loop for one cluster count and returns the
 /// measurement, or `None` if either scheduler failed (which indicates a bug;
 /// callers treat it as fatal in tests and skip it in production sweeps).
@@ -145,43 +212,83 @@ pub fn measure_one(
 /// Generates the suite and measures every loop on every cluster count,
 /// in parallel.
 pub fn measure_suite(config: &ExperimentConfig) -> Vec<LoopMeasurement> {
+    measure_suite_with_stats(config).0
+}
+
+/// [`measure_suite`] plus the sweep's aggregate throughput.
+pub fn measure_suite_with_stats(config: &ExperimentConfig) -> (Vec<LoopMeasurement>, SweepStats) {
     let suite = generate(&config.suite);
-    measure_loops(&suite, config)
+    measure_loops_with_stats(&suite, config)
 }
 
 /// Measures an already-generated suite (useful when the caller also needs the
 /// suite itself).
 pub fn measure_loops(suite: &[SuiteLoop], config: &ExperimentConfig) -> Vec<LoopMeasurement> {
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        config.threads
+    measure_loops_with_stats(suite, config).0
+}
+
+/// The sweep executor.
+///
+/// The (loop × cluster-count) grid is flattened loop-major into task indices
+/// `0..n`; workers claim batches of indices from a shared atomic cursor
+/// (work stealing: nobody owns a range up front, so load imbalance between
+/// small and large loop bodies evens out) and write each result into its
+/// task's dedicated slot. Rows come back loop-major, cluster counts in
+/// configuration order, bit-identical for any worker count.
+pub fn measure_loops_with_stats(
+    suite: &[SuiteLoop],
+    config: &ExperimentConfig,
+) -> (Vec<LoopMeasurement>, SweepStats) {
+    let per_loop = config.cluster_counts.len();
+    let tasks = suite.len() * per_loop;
+    let threads = resolve_threads(config.threads).min(tasks.max(1));
+    let started = Instant::now();
+
+    let slots: Vec<OnceLock<Option<LoopMeasurement>>> =
+        (0..tasks).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    // Small batches amortise cursor contention without recreating the tail
+    // imbalance of static chunking.
+    let batch = (tasks / (threads * 16)).clamp(1, 32);
+
+    let run_worker = || loop {
+        let start = cursor.fetch_add(batch, Ordering::Relaxed);
+        if start >= tasks {
+            break;
+        }
+        for task in start..(start + batch).min(tasks) {
+            let suite_loop = &suite[task / per_loop];
+            let clusters = config.cluster_counts[task % per_loop];
+            let result = measure_one(suite_loop, clusters, config);
+            slots[task].set(result).expect("task claimed twice");
+        }
     };
-    let chunk_size = suite.len().div_ceil(threads.max(1)).max(1);
-    let mut results: Vec<LoopMeasurement> = Vec::new();
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in suite.chunks(chunk_size) {
-            handles.push(scope.spawn(move || {
-                let mut local = Vec::with_capacity(chunk.len() * config.cluster_counts.len());
-                for l in chunk {
-                    for &c in &config.cluster_counts {
-                        if let Some(m) = measure_one(l, c, config) {
-                            local.push(m);
-                        }
-                    }
-                }
-                local
-            }));
-        }
-        for h in handles {
-            results.extend(h.join().expect("measurement worker panicked"));
-        }
-    });
+    if threads <= 1 {
+        run_worker();
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(run_worker)).collect();
+            for h in handles {
+                h.join().expect("measurement worker panicked");
+            }
+        });
+    }
 
-    results.sort_by_key(|m| (m.loop_id, m.clusters));
-    results
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let results: Vec<LoopMeasurement> = slots
+        .into_iter()
+        .filter_map(|slot| slot.into_inner().expect("work-stealing cursor missed a task"))
+        .collect();
+    let stats = SweepStats {
+        tasks,
+        completed: results.len(),
+        failed: tasks - results.len(),
+        threads,
+        wall_seconds,
+        useful_instances: results.iter().map(LoopMeasurement::useful_instances).sum(),
+    };
+    (results, stats)
 }
 
 #[cfg(test)]
@@ -197,7 +304,10 @@ mod tests {
         for m in &rows {
             assert!(m.clustered_ii >= 1);
             assert!(m.unclustered_ii >= 1);
-            assert!(m.clustered_ii >= m.unclustered_ii, "DMS can never beat the unclustered ideal II");
+            assert!(
+                m.clustered_ii >= m.unclustered_ii,
+                "DMS can never beat the unclustered ideal II"
+            );
         }
     }
 
@@ -229,5 +339,63 @@ mod tests {
         let a = measure_suite(&cfg);
         let b = measure_suite(&cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results_or_order() {
+        let mut serial = ExperimentConfig::quick(10);
+        serial.cluster_counts = vec![4, 1, 8]; // deliberately unsorted
+        serial.threads = 1;
+        let mut parallel = serial.clone();
+        parallel.threads = 5; // does not divide the grid evenly
+        let (a, sa) = measure_suite_with_stats(&serial);
+        let (b, sb) = measure_suite_with_stats(&parallel);
+        assert_eq!(a, b, "parallel sweep must match the serial sweep exactly");
+        assert_eq!(sa.tasks, 30);
+        assert_eq!(sa.completed, 30);
+        assert_eq!(sa.failed, 0);
+        assert_eq!(sa.threads, 1);
+        assert_eq!(sb.threads, 5);
+        assert_eq!(sa.useful_instances, sb.useful_instances);
+    }
+
+    #[test]
+    fn rows_come_back_loop_major_in_cluster_config_order() {
+        let mut cfg = ExperimentConfig::quick(4);
+        cfg.cluster_counts = vec![2, 1];
+        let rows = measure_suite(&cfg);
+        let order: Vec<(usize, u32)> = rows.iter().map(|m| (m.loop_id, m.clusters)).collect();
+        assert_eq!(order, vec![(0, 2), (0, 1), (1, 2), (1, 1), (2, 2), (2, 1), (3, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn stats_report_throughput() {
+        let mut cfg = ExperimentConfig::quick(6);
+        cfg.cluster_counts = vec![2];
+        let (_, stats) = measure_suite_with_stats(&cfg);
+        assert_eq!(stats.schedules(), 12);
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.tasks_per_second() > 0.0);
+        assert!((stats.schedules_per_second() - 2.0 * stats.tasks_per_second()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_grid_is_handled() {
+        let mut cfg = ExperimentConfig::quick(0);
+        cfg.cluster_counts = vec![1, 2];
+        let (rows, stats) = measure_suite_with_stats(&cfg);
+        assert!(rows.is_empty());
+        assert_eq!(stats.tasks, 0);
+        assert_eq!(stats.tasks_per_second(), 0.0);
+    }
+
+    #[test]
+    fn oversubscribed_thread_request_is_clamped_to_the_grid() {
+        let mut cfg = ExperimentConfig::quick(2);
+        cfg.cluster_counts = vec![3];
+        cfg.threads = 64;
+        let (rows, stats) = measure_suite_with_stats(&cfg);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(stats.threads, 2, "no point spawning more workers than tasks");
     }
 }

@@ -108,8 +108,7 @@ pub fn topological_order(ddg: &Ddg) -> Option<Vec<OpId>> {
             indegree[e.dst.index()] += 1;
         }
     }
-    let mut queue: Vec<OpId> =
-        ddg.live_op_ids().filter(|id| indegree[id.index()] == 0).collect();
+    let mut queue: Vec<OpId> = ddg.live_op_ids().filter(|id| indegree[id.index()] == 0).collect();
     let mut order = Vec::with_capacity(ddg.num_live_ops());
     while let Some(v) = queue.pop() {
         order.push(v);

@@ -117,11 +117,8 @@ impl Ddg {
     /// Panics if the operation does not exist or was already removed.
     pub fn remove_op(&mut self, id: OpId) {
         assert!(self.is_live(id), "remove_op: {id} is not a live operation");
-        let incident: Vec<EdgeId> = self.preds[id.index()]
-            .iter()
-            .chain(self.succs[id.index()].iter())
-            .copied()
-            .collect();
+        let incident: Vec<EdgeId> =
+            self.preds[id.index()].iter().chain(self.succs[id.index()].iter()).copied().collect();
         for e in incident {
             if self.edges[e.index()].is_some() {
                 self.remove_edge(e);
@@ -133,7 +130,7 @@ impl Ddg {
     /// Whether the operation exists and has not been removed.
     #[inline]
     pub fn is_live(&self, id: OpId) -> bool {
-        self.ops.get(id.index()).map_or(false, Option::is_some)
+        self.ops.get(id.index()).is_some_and(Option::is_some)
     }
 
     /// Returns the operation with the given id.
@@ -170,10 +167,7 @@ impl Ddg {
 
     /// Iterates over live operations as `(id, &op)` pairs.
     pub fn live_ops(&self) -> impl Iterator<Item = (OpId, &Operation)> + '_ {
-        self.ops
-            .iter()
-            .enumerate()
-            .filter_map(|(i, o)| o.as_ref().map(|op| (OpId(i as u32), op)))
+        self.ops.iter().enumerate().filter_map(|(i, o)| o.as_ref().map(|op| (OpId(i as u32), op)))
     }
 
     /// Iterates over the ids of live operations.
@@ -223,16 +217,12 @@ impl Ddg {
 
     /// Incoming edges of an operation (dependences it must wait for).
     pub fn preds(&self, id: OpId) -> impl Iterator<Item = (EdgeId, &DepEdge)> + '_ {
-        self.preds[id.index()]
-            .iter()
-            .filter_map(move |&e| self.edge(e).map(|edge| (e, edge)))
+        self.preds[id.index()].iter().filter_map(move |&e| self.edge(e).map(|edge| (e, edge)))
     }
 
     /// Outgoing edges of an operation (dependences waiting for it).
     pub fn succs(&self, id: OpId) -> impl Iterator<Item = (EdgeId, &DepEdge)> + '_ {
-        self.succs[id.index()]
-            .iter()
-            .filter_map(move |&e| self.edge(e).map(|edge| (e, edge)))
+        self.succs[id.index()].iter().filter_map(move |&e| self.edge(e).map(|edge| (e, edge)))
     }
 
     /// Incoming *flow* (value-carrying) edges of an operation.
@@ -266,7 +256,12 @@ impl Ddg {
     /// Rewrites every read of `old_producer` (at any distance) in `consumer`
     /// to read `new_producer` instead, preserving the distance, and returns
     /// how many operands were rewritten.
-    pub fn redirect_reads(&mut self, consumer: OpId, old_producer: OpId, new_producer: OpId) -> usize {
+    pub fn redirect_reads(
+        &mut self,
+        consumer: OpId,
+        old_producer: OpId,
+        new_producer: OpId,
+    ) -> usize {
         let op = self.op_mut(consumer);
         let mut n = 0;
         for r in &mut op.reads {

@@ -80,14 +80,8 @@ impl OpKind {
     }
 
     /// All useful operation kinds, in a stable order.
-    pub const USEFUL: [OpKind; 6] = [
-        OpKind::Load,
-        OpKind::Store,
-        OpKind::Add,
-        OpKind::Sub,
-        OpKind::Mul,
-        OpKind::Div,
-    ];
+    pub const USEFUL: [OpKind; 6] =
+        [OpKind::Load, OpKind::Store, OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Div];
 }
 
 impl fmt::Display for OpKind {

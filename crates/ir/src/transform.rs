@@ -78,9 +78,7 @@ pub fn convert_to_single_use(ddg: &mut Ddg, latency: &LatencySpec) -> usize {
             // Redirect the read to the current end of the copy chain.
             let old_edge = ddg
                 .preds(read.consumer)
-                .find(|(_, e)| {
-                    e.kind == DepKind::Flow && e.src == p && e.distance == read.distance
-                })
+                .find(|(_, e)| e.kind == DepKind::Flow && e.src == p && e.distance == read.distance)
                 .map(|(id, _)| id);
             if let Some(eid) = old_edge {
                 ddg.remove_edge(eid);
@@ -134,7 +132,7 @@ pub fn unroll(l: &Loop, factor: u32) -> Loop {
         if t >= 0 {
             (t as u32, 0)
         } else {
-            let new_d = ((d - j) + factor - 1) / factor;
+            let new_d = (d - j).div_ceil(factor);
             let copy = t.rem_euclid(factor as i64) as u32;
             (copy, new_d)
         }
@@ -248,7 +246,12 @@ mod tests {
         let (t, copies) = single_use_loop(&l, &LatencySpec::default());
         assert!(copies >= 1);
         // the self-read of `s` still reads `s` directly
-        let self_read = t.ddg.op(s).reads.iter().any(|r| matches!(r, Operand::Def { op, distance } if *op == s && *distance == 1));
+        let self_read = t
+            .ddg
+            .op(s)
+            .reads
+            .iter()
+            .any(|r| matches!(r, Operand::Def { op, distance } if *op == s && *distance == 1));
         assert!(self_read, "recurrence self-read must keep reading the accumulator directly");
         assert!(analysis::max_flow_fanout(&t.ddg) <= 2);
     }

@@ -121,8 +121,7 @@ impl Mrt {
 
     /// Number of free units of `fu` in `cluster` in the row of `time`.
     pub fn free_at(&self, time: u32, cluster: ClusterId, fu: FuKind) -> u32 {
-        self.capacity(cluster, fu)
-            .saturating_sub(self.occupants(time, cluster, fu).len() as u32)
+        self.capacity(cluster, fu).saturating_sub(self.occupants(time, cluster, fu).len() as u32)
     }
 
     /// Reserves one unit of `fu` in `cluster` at `time` for `op`.
@@ -177,9 +176,8 @@ impl Mrt {
         let cap = self.capacity(cluster, fu);
         (0..self.ii)
             .map(|row| {
-                let used = self.slots
-                    [row as usize * self.capacity.len() + self.column(cluster, fu)]
-                .len() as u32;
+                let used = self.slots[row as usize * self.capacity.len() + self.column(cluster, fu)]
+                    .len() as u32;
                 cap.saturating_sub(used)
             })
             .sum()

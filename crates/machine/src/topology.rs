@@ -88,7 +88,9 @@ impl Ring {
         Ring { clusters }
     }
 
-    /// Number of clusters in the ring.
+    /// Number of clusters in the ring (never zero, so there is no
+    /// `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(&self) -> u32 {
         self.clusters
@@ -185,10 +187,7 @@ mod tests {
     fn directed_distance_and_step() {
         let r = Ring::new(4);
         assert_eq!(r.directed_distance(ClusterId(3), ClusterId(1), Direction::Clockwise), 2);
-        assert_eq!(
-            r.directed_distance(ClusterId(3), ClusterId(1), Direction::CounterClockwise),
-            2
-        );
+        assert_eq!(r.directed_distance(ClusterId(3), ClusterId(1), Direction::CounterClockwise), 2);
         assert_eq!(r.step(ClusterId(3), Direction::Clockwise), ClusterId(0));
         assert_eq!(r.step(ClusterId(0), Direction::CounterClockwise), ClusterId(3));
     }

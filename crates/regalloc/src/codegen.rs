@@ -9,9 +9,9 @@
 //! annotated with the register file it travels through (local LRF, or the
 //! CQRF between the producing and consuming clusters).
 
+use dms_ir::{OpId, OpKind, Operand};
 use dms_machine::{ClusterId, CqrfId, FuKind, MachineConfig};
 use dms_sched::schedule::ScheduleResult;
-use dms_ir::{OpId, OpKind, Operand};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -193,8 +193,7 @@ fn build_slot(result: &ScheduleResult, machine: &MachineConfig, op: OpId) -> Cod
         .flow_succs(op)
         .filter_map(|(_, e)| {
             let c = result.schedule.get(e.dst)?;
-            (c.cluster != placed.cluster)
-                .then(|| CqrfId::between(&ring, placed.cluster, c.cluster))
+            (c.cluster != placed.cluster).then(|| CqrfId::between(&ring, placed.cluster, c.cluster))
         })
         .collect();
     result_queues.sort();
@@ -287,7 +286,8 @@ mod tests {
         let (r, _, p) = program(4);
         assert_eq!(p.kernel.len(), r.ii() as usize);
         assert_eq!(p.kernel_ops(), r.ddg.num_live_ops());
-        let mut seen: Vec<OpId> = p.kernel.iter().flat_map(|w| w.slots.iter().map(|s| s.op)).collect();
+        let mut seen: Vec<OpId> =
+            p.kernel.iter().flat_map(|w| w.slots.iter().map(|s| s.op)).collect();
         seen.sort();
         seen.dedup();
         assert_eq!(seen.len(), r.ddg.num_live_ops());
@@ -299,11 +299,9 @@ mod tests {
         for word in &p.kernel {
             for cluster in m.cluster_ids() {
                 for fu in FuKind::ALL {
-                    let used = word
-                        .slots
-                        .iter()
-                        .filter(|s| s.cluster == cluster && s.fu == fu)
-                        .count() as u32;
+                    let used =
+                        word.slots.iter().filter(|s| s.cluster == cluster && s.fu == fu).count()
+                            as u32;
                     assert!(used <= m.fu_count(cluster, fu));
                 }
             }

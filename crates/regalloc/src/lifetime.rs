@@ -1,8 +1,8 @@
 //! Loop-variant lifetimes of a modulo-scheduled loop.
 
+use dms_ir::{Ddg, OpId};
 use dms_machine::{ClusterId, Ring};
 use dms_sched::schedule::{Schedule, ScheduleResult};
-use dms_ir::{Ddg, OpId};
 use serde::{Deserialize, Serialize};
 
 /// Where a lifetime lives.

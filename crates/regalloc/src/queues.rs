@@ -85,7 +85,10 @@ impl RegAllocResult {
 /// Returns [`AllocError::CommunicationConflict`] if a lifetime crosses
 /// indirectly connected clusters, and [`AllocError::CapacityExceeded`] if a
 /// queue file's requirement exceeds the capacity configured in the machine.
-pub fn allocate(result: &ScheduleResult, machine: &MachineConfig) -> Result<RegAllocResult, AllocError> {
+pub fn allocate(
+    result: &ScheduleResult,
+    machine: &MachineConfig,
+) -> Result<RegAllocResult, AllocError> {
     let ring: Ring = machine.ring();
     let lts = lifetimes(&result.ddg, &result.schedule, &ring);
     let mut lrf = vec![0u32; machine.num_clusters() as usize];
@@ -210,7 +213,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = AllocError::CapacityExceeded { queue: "LRF of cluster 0".into(), required: 9, capacity: 4 };
+        let e = AllocError::CapacityExceeded {
+            queue: "LRF of cluster 0".into(),
+            required: 9,
+            capacity: 4,
+        };
         assert!(e.to_string().contains("9"));
     }
 }

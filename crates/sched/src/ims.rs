@@ -70,11 +70,8 @@ pub fn ims_schedule(
     let max_ii = config.max_ii.unwrap_or_else(|| default_max_ii(&ddg, machine, start_ii));
     let budget = config.budget_ratio as u64 * ddg.num_live_ops().max(1) as u64;
 
-    let mut stats = SchedStats {
-        mii: Some(bounds),
-        copies_inserted: copies,
-        ..SchedStats::default()
-    };
+    let mut stats =
+        SchedStats { mii: Some(bounds), copies_inserted: copies, ..SchedStats::default() };
 
     for ii in start_ii..=max_ii {
         stats.ii_attempts += 1;
@@ -144,9 +141,8 @@ fn try_ims(ddg: &Ddg, machine: &MachineConfig, ii: u32, budget: u64) -> Option<I
         let max_time = min_time + ii - 1;
         let fu = FuKind::for_op(ddg.op(op).kind);
 
-        let time = (min_time..=max_time)
-            .find(|&t| mrt.has_free(t, cluster, fu))
-            .unwrap_or(min_time);
+        let time =
+            (min_time..=max_time).find(|&t| mrt.has_free(t, cluster, fu)).unwrap_or(min_time);
 
         // Evict as many occupants as needed to make room (lowest priority first).
         while !mrt.has_free(time, cluster, fu) {
@@ -171,8 +167,7 @@ fn try_ims(ddg: &Ddg, machine: &MachineConfig, ii: u32, budget: u64) -> Option<I
             .filter(|(_, e)| e.dst != op)
             .filter_map(|(_, e)| {
                 schedule.get(e.dst).and_then(|d| {
-                    let bound =
-                        time as i64 + e.latency as i64 - ii as i64 * e.distance as i64;
+                    let bound = time as i64 + e.latency as i64 - ii as i64 * e.distance as i64;
                     ((d.time as i64) < bound).then_some(e.dst)
                 })
             })
@@ -215,12 +210,7 @@ mod tests {
         let r = ims_schedule(l, machine, &ImsConfig::default())
             .unwrap_or_else(|e| panic!("{} failed to schedule: {e}", l.name));
         let violations = validate_schedule(&r.ddg, machine, &r.schedule);
-        assert!(
-            violations.is_empty(),
-            "{}: schedule has violations: {:?}",
-            l.name,
-            violations
-        );
+        assert!(violations.is_empty(), "{}: schedule has violations: {:?}", l.name, violations);
         r
     }
 

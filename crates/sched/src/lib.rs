@@ -28,5 +28,5 @@ pub mod validate;
 pub use ims::{ims_schedule, ImsConfig};
 pub use mii::{mii, rec_mii, res_mii, MiiBreakdown};
 pub use priority::heights;
-pub use schedule::{ScheduleError, ScheduledOp, ScheduleResult, SchedStats, Schedule};
+pub use schedule::{SchedStats, Schedule, ScheduleError, ScheduleResult, ScheduledOp};
 pub use validate::{validate_schedule, Violation};

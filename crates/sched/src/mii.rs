@@ -74,8 +74,7 @@ pub fn res_mii(ddg: &Ddg, machine: &MachineConfig) -> u32 {
 pub fn rec_mii(ddg: &Ddg) -> u32 {
     let mut best = 1u32;
     for comp in sccs(ddg) {
-        let cyclic = comp.len() > 1
-            || ddg.succs(comp[0]).any(|(_, e)| e.dst == comp[0]);
+        let cyclic = comp.len() > 1 || ddg.succs(comp[0]).any(|(_, e)| e.dst == comp[0]);
         if !cyclic {
             continue;
         }

@@ -77,10 +77,7 @@ impl Schedule {
 
     /// Iterates over all placed operations.
     pub fn iter(&self) -> impl Iterator<Item = (OpId, ScheduledOp)> + '_ {
-        self.ops
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.map(|sched| (OpId(i as u32), sched)))
+        self.ops.iter().enumerate().filter_map(|(i, s)| s.map(|sched| (OpId(i as u32), sched)))
     }
 
     /// Number of placed operations.

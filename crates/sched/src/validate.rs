@@ -82,7 +82,11 @@ impl fmt::Display for Violation {
 
 /// Checks a schedule against the machine model and returns every violation
 /// found (empty vector = valid schedule).
-pub fn validate_schedule(ddg: &Ddg, machine: &MachineConfig, schedule: &Schedule) -> Vec<Violation> {
+pub fn validate_schedule(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    schedule: &Schedule,
+) -> Vec<Violation> {
     let mut violations = Vec::new();
     let ii = schedule.ii();
     let ring = machine.ring();
@@ -116,8 +120,7 @@ pub fn validate_schedule(ddg: &Ddg, machine: &MachineConfig, schedule: &Schedule
     }
 
     // 4: resource constraints per MRT row.
-    let mut usage =
-        vec![0u32; ii as usize * machine.num_clusters() as usize * FuKind::ALL.len()];
+    let mut usage = vec![0u32; ii as usize * machine.num_clusters() as usize * FuKind::ALL.len()];
     for (id, op) in ddg.live_ops() {
         let Some(s) = schedule.get(id) else { continue };
         if s.cluster.0 >= machine.num_clusters() {
@@ -222,7 +225,9 @@ mod tests {
         s.place(ids[2], 4, ClusterId(0));
         s.place(ids[3], 5, ClusterId(0));
         let v = validate_schedule(&l.ddg, &m, &s);
-        assert!(v.iter().any(|x| matches!(x, Violation::Oversubscribed { fu: FuKind::LoadStore, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Oversubscribed { fu: FuKind::LoadStore, .. })));
     }
 
     #[test]

@@ -286,7 +286,8 @@ mod tests {
         let l = kernels::fir(16, 512);
         let m = MachineConfig::paper_clustered(8);
         let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap();
-        let used: std::collections::HashSet<_> = r.schedule.iter().map(|(_, s)| s.cluster).collect();
+        let used: std::collections::HashSet<_> =
+            r.schedule.iter().map(|(_, s)| s.cluster).collect();
         assert!(used.len() > 1, "17 memory operations cannot fit in one cluster at this II");
         let report = simulate(&r, &m, 64).unwrap();
         assert!(report.cross_cluster_values > 0);
@@ -313,10 +314,7 @@ mod tests {
         let far = ClusterId((p_cluster.0 + 3) % 6);
         let t = r.schedule.get(store).unwrap().time;
         r.schedule.place(store, t, far);
-        assert!(matches!(
-            simulate(&r, &m, 8),
-            Err(SimError::CommunicationConflict { .. })
-        ));
+        assert!(matches!(simulate(&r, &m, 8), Err(SimError::CommunicationConflict { .. })));
     }
 
     #[test]

@@ -37,11 +37,8 @@ pub fn reference_trace(ddg: &Ddg, trip_count: u64) -> Vec<StoreRecord> {
     for i in 0..trip_count {
         for &op in &order {
             let operation = ddg.op(op);
-            let operands: Vec<i64> = operation
-                .reads
-                .iter()
-                .map(|r| operand_value(r, i, &history))
-                .collect();
+            let operands: Vec<i64> =
+                operation.reads.iter().map(|r| operand_value(r, i, &history)).collect();
             let value = apply(operation.kind, &operands, i);
             history.entry(op).or_default().push(value);
             if operation.kind == OpKind::Store {
@@ -106,8 +103,7 @@ mod tests {
     #[test]
     fn single_use_transform_preserves_semantics() {
         let l = kernels::horner(5, 12);
-        let (t, copies) =
-            dms_ir::transform::single_use_loop(&l, &dms_ir::LatencySpec::default());
+        let (t, copies) = dms_ir::transform::single_use_loop(&l, &dms_ir::LatencySpec::default());
         assert!(copies > 0);
         assert_eq!(reference_trace(&l.ddg, 12), reference_trace(&t.ddg, 12));
     }

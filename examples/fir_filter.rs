@@ -34,15 +34,26 @@ fn main() {
     );
     println!(
         "{:>8} {:>4} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7} {:>10} {:>9}",
-        "clusters", "FUs", "IMS II", "DMS II", "IMS IPC", "DMS IPC", "moves", "copies", "cross-vals", "max CQRF"
+        "clusters",
+        "FUs",
+        "IMS II",
+        "DMS II",
+        "IMS IPC",
+        "DMS IPC",
+        "moves",
+        "copies",
+        "cross-vals",
+        "max CQRF"
     );
 
     for clusters in 1..=8u32 {
         let clustered = MachineConfig::paper_clustered(clusters);
         let unclustered = MachineConfig::unclustered(clusters);
 
-        let ims = ims_schedule(&fir, &unclustered, &ImsConfig::default()).expect("IMS schedules the FIR");
-        let dms = dms_schedule(&fir, &clustered, &DmsConfig::default()).expect("DMS schedules the FIR");
+        let ims =
+            ims_schedule(&fir, &unclustered, &ImsConfig::default()).expect("IMS schedules the FIR");
+        let dms =
+            dms_schedule(&fir, &clustered, &DmsConfig::default()).expect("DMS schedules the FIR");
         assert!(validate_schedule(&dms.ddg, &clustered, &dms.schedule).is_empty());
 
         let report = simulate(&dms, &clustered, samples).expect("the schedule executes correctly");

@@ -62,7 +62,8 @@ fn main() {
     }
     println!("MaxLive                   : {}", registers.max_live);
 
-    let report = simulate(&result, &machine, axpy.trip_count).expect("execution matches the reference");
+    let report =
+        simulate(&result, &machine, axpy.trip_count).expect("execution matches the reference");
     println!("\ncycles for {} iterations : {}", axpy.trip_count, report.cycles);
     println!("IPC (useful ops only)      : {:.2}", report.ipc);
     println!("values crossing clusters   : {}", report.cross_cluster_values);

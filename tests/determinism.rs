@@ -1,0 +1,59 @@
+//! Determinism regression tests for the parallel sweep engine.
+//!
+//! The figures and their CSV exports must be pure functions of the
+//! experiment configuration: the worker count is an execution detail and may
+//! never leak into results, ordering, or rendered output. These tests pin
+//! that contract at the CSV-byte level, per the acceptance criteria of the
+//! workspace bring-up issue.
+
+use dms_experiments::report;
+use dms_experiments::{figure4, figure5, figure6, measure_suite_with_stats, ExperimentConfig};
+
+fn suite_config(threads: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(32);
+    cfg.cluster_counts = vec![1, 2, 4, 8];
+    cfg.threads = threads;
+    cfg
+}
+
+#[test]
+fn csv_output_is_byte_identical_for_1_and_4_threads() {
+    let (serial, serial_stats) = measure_suite_with_stats(&suite_config(1));
+    let (parallel, parallel_stats) = measure_suite_with_stats(&suite_config(4));
+
+    assert_eq!(serial_stats.threads, 1);
+    assert_eq!(parallel_stats.threads, 4);
+    assert_eq!(serial_stats.tasks, 32 * 4);
+    assert_eq!(serial_stats.failed, 0);
+    assert_eq!(parallel_stats.failed, 0);
+
+    assert_eq!(
+        report::measurements_csv(&serial),
+        report::measurements_csv(&parallel),
+        "raw measurement CSV must not depend on the worker count"
+    );
+    assert_eq!(
+        report::fig4_csv(&figure4(&serial)),
+        report::fig4_csv(&figure4(&parallel)),
+        "figure 4 CSV must not depend on the worker count"
+    );
+    assert_eq!(
+        report::fig5_csv(&figure5(&serial)),
+        report::fig5_csv(&figure5(&parallel)),
+        "figure 5 CSV must not depend on the worker count"
+    );
+    assert_eq!(
+        report::fig6_csv(&figure6(&serial)),
+        report::fig6_csv(&figure6(&parallel)),
+        "figure 6 CSV must not depend on the worker count"
+    );
+}
+
+#[test]
+fn per_core_thread_default_matches_serial_results() {
+    let (serial, _) = measure_suite_with_stats(&suite_config(1));
+    // threads = 0 resolves to one worker per available core.
+    let (per_core, stats) = measure_suite_with_stats(&suite_config(0));
+    assert!(stats.threads >= 1);
+    assert_eq!(serial, per_core);
+}

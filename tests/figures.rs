@@ -50,8 +50,11 @@ fn figure5_shape_matches_the_paper() {
     // ("very small differences are observed if only loops without
     // recurrences are considered") and within a modest factor on Set 1
     for r in &rows {
-        assert!(r.set2_slowdown() <= r.set1_slowdown() + 0.10,
-            "Set 2 should be at least as close to the ideal as Set 1 at {} FUs", r.functional_units);
+        assert!(
+            r.set2_slowdown() <= r.set1_slowdown() + 0.10,
+            "Set 2 should be at least as close to the ideal as Set 1 at {} FUs",
+            r.functional_units
+        );
         assert!(r.set1_slowdown() <= 1.5);
     }
 }

@@ -44,7 +44,11 @@ fn ims_pipeline_on_unclustered_machines() {
             let result = ims_schedule(&l, &machine, &ImsConfig::default()).unwrap();
             assert!(validate_schedule(&result.ddg, &machine, &result.schedule).is_empty());
             let report = simulate(&result, &machine, l.trip_count).unwrap();
-            assert_eq!(report.cross_cluster_values, 0, "{}: unclustered machines have no CQRFs", l.name);
+            assert_eq!(
+                report.cross_cluster_values, 0,
+                "{}: unclustered machines have no CQRFs",
+                l.name
+            );
         }
     }
 }
@@ -55,8 +59,9 @@ fn ims_pipeline_on_unclustered_machines() {
 fn dms_vs_ims_ii_relationship() {
     for l in kernels::all(64) {
         for clusters in [2, 4, 8] {
-            let d = dms_schedule(&l, &MachineConfig::paper_clustered(clusters), &DmsConfig::default())
-                .unwrap();
+            let d =
+                dms_schedule(&l, &MachineConfig::paper_clustered(clusters), &DmsConfig::default())
+                    .unwrap();
             let i = ims_schedule(&l, &MachineConfig::unclustered(clusters), &ImsConfig::default())
                 .unwrap();
             assert!(d.ii() >= i.ii(), "{} on {clusters} clusters", l.name);

@@ -1,7 +1,10 @@
 //! Property-based tests over randomly generated loop bodies.
 //!
-//! A small strategy generates arbitrary (but well-formed) loop DDGs; the
-//! properties assert the core invariants of the reproduction:
+//! A small generator builds arbitrary (but well-formed) loop DDGs from a
+//! deterministic RNG stream (the vendored offline `rand` shim — proptest is
+//! not available in this build environment, so each property runs a fixed
+//! number of seeded cases instead of shrinking ones); the properties assert
+//! the core invariants of the reproduction:
 //!
 //! * the single-use conversion bounds every fan-out by two and preserves the
 //!   sequential semantics,
@@ -18,129 +21,134 @@ use dms_machine::MachineConfig;
 use dms_sched::ims::{ims_schedule, ImsConfig};
 use dms_sched::validate_schedule;
 use dms_sim::{reference_trace, simulate};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A compact description of one arithmetic operation of a random loop.
-#[derive(Debug, Clone)]
-struct ArithSpec {
-    kind_sel: u8,
-    a_sel: u8,
-    b_sel: u8,
-    feedback: Option<u8>,
-}
+const CASES: u64 = 24;
 
-fn arith_spec() -> impl Strategy<Value = ArithSpec> {
-    (0u8..4, any::<u8>(), any::<u8>(), prop::option::weighted(0.15, 1u8..3)).prop_map(
-        |(kind_sel, a_sel, b_sel, feedback)| ArithSpec { kind_sel, a_sel, b_sel, feedback },
-    )
-}
-
-/// Builds a well-formed loop from the random specification.
-fn build_loop(loads: u8, arith: Vec<ArithSpec>, stores: u8, trip: u16) -> Loop {
+/// Builds one random but well-formed loop, mirroring the shapes the old
+/// proptest strategy produced: 1–3 loads, 1–9 arithmetic ops with occasional
+/// feedback (recurrence) edges, 1–2 stores, trip count 4–47.
+fn arb_loop(rng: &mut StdRng) -> Loop {
     let mut b = LoopBuilder::new("proptest_loop");
     let mut values = Vec::new();
-    for _ in 0..loads.clamp(1, 4) {
+    for _ in 0..rng.gen_range(1u32..4) {
         values.push(b.load(Operand::Induction));
     }
-    for spec in arith {
-        let kind = match spec.kind_sel {
+    for _ in 0..rng.gen_range(1usize..10) {
+        let kind = match rng.gen_range(0u8..4) {
             0 => OpKind::Add,
             1 => OpKind::Sub,
             2 => OpKind::Mul,
             _ => OpKind::Div,
         };
-        let pick = |sel: u8, values: &Vec<dms_ir::OpId>| -> Operand {
-            let n = values.len();
-            values[sel as usize % n].into()
+        let pick = |rng: &mut StdRng, values: &Vec<dms_ir::OpId>| -> Operand {
+            values[rng.gen_range(0..values.len())].into()
         };
-        let a = pick(spec.a_sel, &values);
-        let v = match spec.feedback {
-            Some(d) => b.feedback(kind, a, d as u32),
-            None => {
-                let c = pick(spec.b_sel, &values);
-                b.op(kind, vec![a, c])
-            }
+        let a = pick(rng, &values);
+        let v = if rng.gen_bool(0.15) {
+            b.feedback(kind, a, rng.gen_range(1u32..3))
+        } else {
+            let c = pick(rng, &values);
+            b.op(kind, vec![a, c])
         };
         values.push(v);
     }
     b.store((*values.last().unwrap()).into());
-    for k in 1..stores.clamp(1, 3) {
+    for k in 1..rng.gen_range(1u8..3) {
         let v = values[(k as usize * 3) % values.len()];
         b.store(v.into());
     }
-    b.finish(u64::from(trip.clamp(4, 48)))
+    b.finish(rng.gen_range(4u64..48))
 }
 
-fn arb_loop() -> impl Strategy<Value = Loop> {
-    (
-        1u8..4,
-        prop::collection::vec(arith_spec(), 1..10),
-        1u8..3,
-        4u16..48,
-    )
-        .prop_map(|(loads, arith, stores, trip)| build_loop(loads, arith, stores, trip))
-}
+const SEED_BASE: u64 = 0xD5_1999 << 8;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn generated_loops_are_well_formed(l in arb_loop()) {
-        prop_assert!(l.ddg.validate().is_ok());
-        prop_assert!(analysis::cycles_have_positive_distance(&l.ddg));
-        prop_assert!(l.useful_ops() >= 3);
+/// Runs `property` on [`CASES`] independently seeded generated loops.
+fn run_cases(property_id: u64, property: impl Fn(Loop)) {
+    for case in 0..CASES {
+        // Spread the property id into high bits so the per-property case
+        // streams never overlap.
+        let case_seed = (SEED_BASE ^ (property_id << 32)).wrapping_add(case);
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let l = arb_loop(&mut rng);
+        property(l);
     }
+}
 
-    #[test]
-    fn single_use_conversion_bounds_fanout_and_preserves_semantics(l in arb_loop()) {
+#[test]
+fn generated_loops_are_well_formed() {
+    run_cases(1, |l| {
+        assert!(l.ddg.validate().is_ok());
+        assert!(analysis::cycles_have_positive_distance(&l.ddg));
+        assert!(l.useful_ops() >= 3);
+    });
+}
+
+#[test]
+fn single_use_conversion_bounds_fanout_and_preserves_semantics() {
+    run_cases(2, |l| {
         let (t, _copies) = transform::single_use_loop(&l, &LatencySpec::default());
-        prop_assert!(t.ddg.validate().is_ok());
-        prop_assert!(analysis::max_flow_fanout(&t.ddg) <= 2);
-        prop_assert_eq!(t.useful_ops(), l.useful_ops());
-        prop_assert_eq!(reference_trace(&t.ddg, 16), reference_trace(&l.ddg, 16));
-    }
+        assert!(t.ddg.validate().is_ok());
+        assert!(analysis::max_flow_fanout(&t.ddg) <= 2);
+        assert_eq!(t.useful_ops(), l.useful_ops());
+        assert_eq!(reference_trace(&t.ddg, 16), reference_trace(&l.ddg, 16));
+    });
+}
 
-    #[test]
-    fn unrolling_preserves_well_formedness(l in arb_loop(), factor in 1u32..5) {
-        let u = transform::unroll(&l, factor);
-        prop_assert!(u.ddg.validate().is_ok());
-        prop_assert!(analysis::cycles_have_positive_distance(&u.ddg));
-        prop_assert_eq!(u.ddg.num_live_ops(), l.ddg.num_live_ops() * factor as usize);
-        prop_assert_eq!(
-            analysis::has_recurrence(&u.ddg),
-            analysis::has_recurrence(&l.ddg)
-        );
-    }
-
-    #[test]
-    fn ims_schedules_are_valid_and_at_least_mii(l in arb_loop(), width in 1u32..6) {
-        let machine = MachineConfig::unclustered(width);
-        let r = ims_schedule(&l, &machine, &ImsConfig::default()).unwrap();
-        prop_assert!(validate_schedule(&r.ddg, &machine, &r.schedule).is_empty());
-        prop_assert!(r.ii() >= r.stats.mii.unwrap().mii());
-    }
-
-    #[test]
-    fn dms_schedules_are_valid_and_execute_correctly(l in arb_loop(), clusters in 1u32..9) {
-        let machine = MachineConfig::paper_clustered(clusters);
-        let r = dms_schedule(&l, &machine, &DmsConfig::default()).unwrap();
-        prop_assert!(validate_schedule(&r.ddg, &machine, &r.schedule).is_empty());
-        prop_assert!(r.ddg.validate().is_ok());
-        prop_assert!(r.ii() >= r.stats.mii.unwrap().mii());
-        let report = simulate(&r, &machine, l.trip_count).unwrap();
-        prop_assert_eq!(report.useful_ops_executed, l.useful_ops() as u64 * l.trip_count);
-    }
-
-    #[test]
-    fn register_allocation_succeeds_for_every_valid_schedule(l in arb_loop(), clusters in 1u32..7) {
-        let machine = MachineConfig::paper_clustered(clusters);
-        let r = dms_schedule(&l, &machine, &DmsConfig::default()).unwrap();
-        let alloc = dms_regalloc::allocate(&r, &machine).unwrap();
-        prop_assert!(alloc.total_registers() >= 1);
-        prop_assert_eq!(alloc.lrf_registers.len(), clusters as usize);
-        // every cross-cluster lifetime lives in a CQRF between adjacent clusters
-        for id in alloc.cqrf_registers.keys() {
-            prop_assert_eq!(machine.ring().distance(id.writer, id.reader), 1);
+#[test]
+fn unrolling_preserves_well_formedness() {
+    run_cases(3, |l| {
+        for factor in 1u32..5 {
+            let u = transform::unroll(&l, factor);
+            assert!(u.ddg.validate().is_ok());
+            assert!(analysis::cycles_have_positive_distance(&u.ddg));
+            assert_eq!(u.ddg.num_live_ops(), l.ddg.num_live_ops() * factor as usize);
+            assert_eq!(analysis::has_recurrence(&u.ddg), analysis::has_recurrence(&l.ddg));
         }
-    }
+    });
+}
+
+#[test]
+fn ims_schedules_are_valid_and_at_least_mii() {
+    run_cases(4, |l| {
+        for width in 1u32..6 {
+            let machine = MachineConfig::unclustered(width);
+            let r = ims_schedule(&l, &machine, &ImsConfig::default()).unwrap();
+            assert!(validate_schedule(&r.ddg, &machine, &r.schedule).is_empty());
+            assert!(r.ii() >= r.stats.mii.unwrap().mii());
+        }
+    });
+}
+
+#[test]
+fn dms_schedules_are_valid_and_execute_correctly() {
+    run_cases(5, |l| {
+        for clusters in 1u32..9 {
+            let machine = MachineConfig::paper_clustered(clusters);
+            let r = dms_schedule(&l, &machine, &DmsConfig::default()).unwrap();
+            assert!(validate_schedule(&r.ddg, &machine, &r.schedule).is_empty());
+            assert!(r.ddg.validate().is_ok());
+            assert!(r.ii() >= r.stats.mii.unwrap().mii());
+            let report = simulate(&r, &machine, l.trip_count).unwrap();
+            assert_eq!(report.useful_ops_executed, l.useful_ops() as u64 * l.trip_count);
+        }
+    });
+}
+
+#[test]
+fn register_allocation_succeeds_for_every_valid_schedule() {
+    run_cases(6, |l| {
+        for clusters in 1u32..7 {
+            let machine = MachineConfig::paper_clustered(clusters);
+            let r = dms_schedule(&l, &machine, &DmsConfig::default()).unwrap();
+            let alloc = dms_regalloc::allocate(&r, &machine).unwrap();
+            assert!(alloc.total_registers() >= 1);
+            assert_eq!(alloc.lrf_registers.len(), clusters as usize);
+            // every cross-cluster lifetime lives in a CQRF between adjacent clusters
+            for id in alloc.cqrf_registers.keys() {
+                assert_eq!(machine.ring().distance(id.writer, id.reader), 1);
+            }
+        }
+    });
 }

@@ -1,0 +1,19 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations (no (de)serialization is performed at runtime — the CSV and
+//! text reports are hand-rolled). Because the build environment has no
+//! crates.io access, this crate provides just enough surface for those
+//! derives to resolve: the two marker traits and the no-op derive macros
+//! from the sibling `serde_derive` shim.
+//!
+//! Replacing this with the real serde is a manifest-only change; no source
+//! file references anything beyond `use serde::{Deserialize, Serialize}`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}
