@@ -13,6 +13,7 @@
 use crate::state::SchedulerState;
 use dms_ir::{DepEdge, OpId};
 use dms_machine::{ClusterId, Direction, FuKind};
+use dms_sched::schedule::dependence_bound;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -216,8 +217,13 @@ fn plan_single_chain(
         return None;
     }
     let mut new_claims = claims.clone();
+    // The first move may issue once the producer's value is available:
+    // `src_time + latency - II * distance`, computed through the shared
+    // i64 bound so a loop-carried edge (distance > 0) whose window starts
+    // before time 0 clamps to 0 instead of wrapping below zero.
+    let window_cap = (u32::MAX - ii) as i64; // keeps `lower + ii` below the wrap point
     let mut lower =
-        (src_time as i64 + edge.latency as i64 - ii as i64 * edge.distance as i64).max(0) as u32;
+        dependence_bound(src_time, edge.latency, ii, edge.distance).clamp(0, window_cap) as u32;
     let mut moves = Vec::with_capacity(intermediates.len());
     for &cluster in intermediates {
         let slot = (lower..lower + ii).find(|&t| {
@@ -226,7 +232,7 @@ fn plan_single_chain(
         })?;
         new_claims.claim(slot % ii, cluster);
         moves.push((cluster, slot));
-        lower = slot + mv;
+        lower = slot.saturating_add(mv).min(window_cap as u32);
     }
     let consumer_ready = lower;
     Some((ChainPlan { edge: *edge, direction: dir, moves, consumer_ready }, new_claims))
@@ -359,6 +365,37 @@ mod tests {
         st.place(c1, 0, ClusterId(1));
         st.place(c2, 0, ClusterId(3));
         assert!(best_option(&st, OpId(2), ChainPolicy::MaxFreeSlots).is_none());
+    }
+
+    #[test]
+    fn carried_edge_chain_window_clamps_to_time_zero() {
+        // A loop-carried dependence (distance 1) from a producer at time 0:
+        // the dependence bound 0 + 2 - II * 1 is negative, so the chain's
+        // window must start at 0 — not wrap to a huge unsigned time and make
+        // every planning attempt spuriously infeasible.
+        let mut b = LoopBuilder::new("carried");
+        let x = b.load(Operand::Induction);
+        let s = b.add_feedback(x.into(), 1);
+        b.store(s.into());
+        let l = b.finish(16);
+        let machine = MachineConfig::paper_clustered(6);
+        let mut st = SchedulerState::new(l.ddg.clone(), &machine, 4);
+        st.place(OpId(0), 0, ClusterId(0));
+        let edge = *st.ddg.flow_succs(OpId(0)).next().unwrap().1;
+        let carried = DepEdge { distance: 1, ..edge };
+        let (plan, _) = plan_single_chain(
+            &st,
+            &carried,
+            0,
+            ClusterId(0),
+            ClusterId(3),
+            Direction::Clockwise,
+            &Claims::default(),
+        )
+        .expect("a negative-slack window must clamp to 0 and stay feasible");
+        assert_eq!(plan.moves.len(), 2);
+        assert!(plan.moves[0].1 < 4, "the first move must sit inside the clamped [0, II) window");
+        assert!(plan.moves[1].1 > plan.moves[0].1);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::state::SchedulerState;
 use dms_ir::transform::convert_to_single_use;
 use dms_ir::{Ddg, Loop, OpId};
 use dms_machine::{ClusterId, FuKind, MachineConfig};
+use dms_sched::ims::default_max_ii;
 use dms_sched::mii::mii;
 use dms_sched::schedule::{SchedStats, Schedule, ScheduleError, ScheduleResult};
 use serde::{Deserialize, Serialize};
@@ -52,9 +53,9 @@ impl Default for DmsConfig {
 ///
 /// # Errors
 ///
-/// Returns [`ScheduleError::Unschedulable`] if the machine lacks a required
-/// functional-unit class and [`ScheduleError::IiLimitReached`] if no schedule
-/// is found up to the II limit.
+/// Returns [`ScheduleError::UnexecutableLoop`] if the machine lacks a
+/// required functional-unit class and [`ScheduleError::IiLimitReached`] if no
+/// schedule is found up to the II limit.
 pub fn dms_schedule(
     l: &Loop,
     machine: &MachineConfig,
@@ -72,18 +73,9 @@ pub fn dms_schedule(
         0
     };
 
-    let bounds = mii(&ddg, machine);
-    if bounds.res_mii == u32::MAX {
-        return Err(ScheduleError::Unschedulable(
-            "the machine lacks a functional-unit class required by the loop".to_string(),
-        ));
-    }
+    let bounds = mii(&ddg, machine)?;
     let start_ii = bounds.mii();
-    let max_ii = config.max_ii.unwrap_or_else(|| {
-        let ops = ddg.num_live_ops() as u32;
-        let lat = machine.latency().max_latency();
-        (ops * lat).max(start_ii) + ops + 8
-    });
+    let max_ii = config.max_ii.unwrap_or_else(|| default_max_ii(&ddg, machine, start_ii));
     let budget = config.budget_ratio as u64 * ddg.num_live_ops().max(1) as u64;
 
     let mut attempts = 0;
@@ -410,7 +402,7 @@ mod tests {
         );
         assert!(matches!(
             dms_schedule(&l, &m, &DmsConfig::default()),
-            Err(ScheduleError::Unschedulable(_))
+            Err(ScheduleError::UnexecutableLoop { fu: FuKind::LoadStore, .. })
         ));
     }
 

@@ -8,7 +8,7 @@
 use dms_ir::{Ddg, DepEdge, OpId, OpKind, Operation};
 use dms_machine::{ClusterId, FuKind, MachineConfig, Mrt, Ring};
 use dms_sched::priority::heights;
-use dms_sched::schedule::{SchedStats, Schedule};
+use dms_sched::schedule::{dependence_bound, SchedStats, Schedule};
 
 /// A committed chain of `move` operations realising one too-distant flow
 /// dependence.
@@ -113,19 +113,10 @@ impl SchedulerState {
 
     /// Earliest start time of `op` given its already-scheduled predecessors
     /// (self edges excluded — they are satisfied by any II at or above
-    /// RecMII).
+    /// RecMII). Delegates to the shared [`dms_sched::schedule::earliest_start`]
+    /// so IMS and DMS use one definition of the dependence inequality.
     pub fn earliest_start(&self, op: OpId) -> u32 {
-        let mut estart = 0i64;
-        for (_, e) in self.ddg.preds(op) {
-            if e.src == op {
-                continue;
-            }
-            if let Some(p) = self.schedule.get(e.src) {
-                let bound = p.time as i64 + e.latency as i64 - self.ii as i64 * e.distance as i64;
-                estart = estart.max(bound);
-            }
-        }
-        estart.max(0) as u32
+        dms_sched::schedule::earliest_start(&self.ddg, &self.schedule, op, self.ii)
     }
 
     /// The scheduling window `[min_time, min_time + II - 1]` of `op`,
@@ -222,7 +213,7 @@ impl SchedulerState {
             .filter(|(_, e)| e.dst != op)
             .filter_map(|(_, e)| {
                 self.schedule.get(e.dst).and_then(|d| {
-                    let bound = time as i64 + e.latency as i64 - self.ii as i64 * e.distance as i64;
+                    let bound = dependence_bound(time, e.latency, self.ii, e.distance);
                     ((d.time as i64) < bound).then_some(e.dst)
                 })
             })
@@ -301,10 +292,17 @@ impl SchedulerState {
     /// original edge and operand, and unschedules the consumer if the direct
     /// dependence would now cross indirectly connected clusters.
     fn dismantle(&mut self, chain: Chain) {
-        // Restore the consumer's operand to read the producer directly.
+        // Restore the consumer's operand to read the producer directly, at
+        // the original edge's distance (the chain read was distance 0).
         if let Some(&last) = chain.moves.last() {
             if self.ddg.is_live(chain.consumer) {
-                self.ddg.redirect_reads(chain.consumer, last, chain.producer);
+                self.ddg.redirect_reads_at(
+                    chain.consumer,
+                    last,
+                    0,
+                    chain.producer,
+                    chain.original_edge.distance,
+                );
             }
         }
         // Delete the moves (removes their edges too).
@@ -377,9 +375,12 @@ impl SchedulerState {
             prev_latency = self.move_latency;
             prev_distance = 0;
         }
-        // Re-point the consumer at the last move.
+        // Re-point the consumer at the last move. The chain's first move
+        // already absorbs the edge's iteration distance, so the consumer
+        // reads the last move at distance 0 — re-pointing with the original
+        // distance preserved would shift the value by the distance twice.
         let last = *move_ids.last().expect("at least one move");
-        self.ddg.redirect_reads(consumer, producer, last);
+        self.ddg.redirect_reads_at(consumer, producer, edge.distance, last, 0);
         self.ddg.add_edge(DepEdge::flow(last, consumer, self.move_latency, 0));
 
         // Heights: a move sits just above its consumer in the priority order.
@@ -507,6 +508,33 @@ mod tests {
         assert_eq!(st.ddg.num_live_ops(), 3);
         assert_eq!(st.ddg.live_edges().count(), before_edges);
         assert_eq!(st.ddg.op(OpId(1)).defs_read().next().unwrap().0, OpId(0));
+        assert!(st.ddg.validate().is_ok());
+    }
+
+    #[test]
+    fn carried_chain_absorbs_the_distance_exactly_once() {
+        // consumer reads the producer one iteration back (distance 1); a
+        // chain realising that edge shifts at its first move, so the
+        // consumer must end up reading the last move at distance 0 —
+        // reading it at distance 1 would shift the value twice.
+        let mut b = LoopBuilder::new("carried_chain");
+        let x = b.load(Operand::Induction);
+        let y = b.op(dms_ir::OpKind::Add, vec![Operand::def_at(x, 1), Operand::Invariant(0)]);
+        b.store(y.into());
+        let l = b.finish(16);
+        let m = MachineConfig::paper_clustered(6);
+        let mut st = SchedulerState::new(l.ddg.clone(), &m, 4);
+        st.place(x, 0, ClusterId(0));
+        let edge = *st.ddg.flow_succs(x).next().unwrap().1;
+        assert_eq!(edge.distance, 1);
+        let moves = st.commit_chain(edge, &[(ClusterId(1), 2), (ClusterId(2), 3)]);
+        // first move carries the distance, consumer reads the tail at 0
+        assert_eq!(st.ddg.op(moves[0]).defs_read().next(), Some((x, 1)));
+        assert_eq!(st.ddg.op(y).defs_read().next(), Some((*moves.last().unwrap(), 0)));
+        // dismantling restores the original distance-1 read
+        st.unschedule(x);
+        assert!(st.chains.is_empty());
+        assert_eq!(st.ddg.op(y).defs_read().next(), Some((x, 1)));
         assert!(st.ddg.validate().is_ok());
     }
 

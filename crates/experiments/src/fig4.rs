@@ -123,6 +123,7 @@ mod tests {
             moves: 0,
             strategy2: 0,
             strategy3: 0,
+            verified_stores: 0,
         }
     }
 

@@ -1,12 +1,15 @@
 //! Command-line entry point regenerating the paper's figures.
 //!
 //! ```text
-//! dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T]
+//! dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify]
 //! ```
 //!
 //! With no arguments it runs `all` at paper scale (1258 loops, 1–10
 //! clusters), prints every figure as a text table and checks the paper's
-//! headline claims.
+//! headline claims. With `--verify` every schedule is additionally lowered
+//! through register allocation and code generation, executed on the
+//! clustered-VLIW interpreter and cross-checked against a scalar reference
+//! interpretation of the loop.
 
 use dms_experiments::ablation::{chain_policy_ablation, copy_unit_ablation};
 use dms_experiments::report;
@@ -29,7 +32,7 @@ struct Cli {
     csv_dir: Option<String>,
 }
 
-const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T]";
+const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify]";
 
 fn parse_args() -> Result<Cli, String> {
     let mut command = Command::All;
@@ -62,6 +65,7 @@ fn parse_args() -> Result<Cli, String> {
                     .map(|x| x.trim().parse().map_err(|_| format!("bad cluster count {x}")))
                     .collect::<Result<Vec<u32>, String>>()?;
             }
+            "--verify" => config.verify = true,
             "--csv" => csv_dir = Some(args.next().ok_or("--csv needs a directory")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -121,8 +125,19 @@ fn main() -> ExitCode {
         stats.schedules_per_second(),
         stats.useful_instances as f64 / 1e6,
     );
+    if cli.config.verify {
+        println!(
+            "verify: executed every schedule through regalloc + codegen on the simulator, \
+             {} store values cross-checked against the scalar reference",
+            stats.stores_verified,
+        );
+    }
     if stats.failed > 0 {
-        eprintln!("warning: {} tasks skipped because a scheduler failed", stats.failed);
+        eprintln!(
+            "warning: {} tasks skipped because a scheduler{} failed",
+            stats.failed,
+            if cli.config.verify { " or its end-to-end verification" } else { "" },
+        );
     }
     println!();
     if let Some(dir) = &cli.csv_dir {

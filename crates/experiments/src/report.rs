@@ -16,12 +16,12 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
     let mut out = String::from(
         "loop_id,set2,clusters,useful_ops,trip_count,unclustered_ii,clustered_ii,\
          unclustered_mii,clustered_mii,unclustered_cycles,clustered_cycles,\
-         copies,moves,strategy2,strategy3\n",
+         copies,moves,strategy2,strategy3,verified_stores\n",
     );
     for m in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             m.loop_id,
             m.set2,
             m.clusters,
@@ -36,7 +36,8 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
             m.copies,
             m.moves,
             m.strategy2,
-            m.strategy3
+            m.strategy3,
+            m.verified_stores
         );
     }
     out
@@ -287,11 +288,14 @@ mod tests {
             moves: 1,
             strategy2: 2,
             strategy3: 0,
+            verified_stores: 128,
         };
         let csv = measurements_csv(&[m]);
         let mut lines = csv.lines();
-        assert!(lines.next().unwrap().starts_with("loop_id,set2,clusters"));
-        assert_eq!(lines.next().unwrap(), "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0");
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("loop_id,set2,clusters"));
+        assert!(header.ends_with("verified_stores"));
+        assert_eq!(lines.next().unwrap(), "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128");
         assert_eq!(lines.next(), None);
     }
 

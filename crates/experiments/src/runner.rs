@@ -18,6 +18,7 @@
 use dms_core::{dms_schedule, DmsConfig};
 use dms_machine::MachineConfig;
 use dms_sched::ims::{ims_schedule, ImsConfig};
+use dms_sim::verify_schedule;
 use dms_workloads::{generate, SuiteConfig, SuiteLoop, UnrollPolicy};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -40,7 +41,21 @@ pub struct ExperimentConfig {
     pub copy_units: u32,
     /// DMS tuning (chain policy etc.).
     pub dms: DmsConfig,
+    /// Whether to verify every schedule end-to-end: lower it through
+    /// register allocation and code generation, execute the emitted program
+    /// on the clustered machine interpreter and cross-check the stored
+    /// values against a scalar reference interpretation of the loop
+    /// (`dms::verify_schedule`). A verification failure makes the task fail
+    /// (it is dropped from the results and counted in
+    /// [`SweepStats::failed`]).
+    pub verify: bool,
 }
+
+/// Iterations executed per schedule in verify mode. Enough to fill and
+/// drain the software pipeline several times over while keeping the
+/// paper-scale sweep tractable; the cross-check compares every stored value
+/// of every executed iteration.
+pub const VERIFY_TRIP_CAP: u64 = 64;
 
 impl ExperimentConfig {
     /// The paper-scale configuration: 1258 loops, 1–10 clusters.
@@ -52,6 +67,7 @@ impl ExperimentConfig {
             threads: 0,
             copy_units: 1,
             dms: DmsConfig::default(),
+            verify: false,
         }
     }
 
@@ -103,6 +119,9 @@ pub struct LoopMeasurement {
     pub strategy2: u64,
     /// Operations placed by strategy 3.
     pub strategy3: u64,
+    /// Store values cross-checked against the scalar reference interpreter
+    /// (IMS + DMS runs combined). 0 when the sweep ran without `--verify`.
+    pub verified_stores: u64,
 }
 
 impl LoopMeasurement {
@@ -134,6 +153,9 @@ pub struct SweepStats {
     pub wall_seconds: f64,
     /// Useful operation instances covered by the completed measurements.
     pub useful_instances: u64,
+    /// Store values cross-checked against the scalar reference (0 unless the
+    /// sweep ran in verify mode).
+    pub stores_verified: u64,
 }
 
 impl SweepStats {
@@ -190,6 +212,17 @@ pub fn measure_one(
     let ims = ims_schedule(&body, &unclustered_machine, &ImsConfig::default()).ok()?;
     let dms = dms_schedule(&body, &clustered_machine, &config.dms).ok()?;
 
+    // End-to-end verification: regalloc + codegen + execution of both
+    // schedules, cross-checked against the scalar reference. A failure is a
+    // compiler bug; the task is dropped and counted as failed.
+    let mut verified_stores = 0;
+    if config.verify {
+        let trips = body.trip_count.min(VERIFY_TRIP_CAP);
+        let i = verify_schedule(&body, &ims, &unclustered_machine, trips).ok()?;
+        let d = verify_schedule(&body, &dms, &clustered_machine, trips).ok()?;
+        verified_stores = i.stores_checked + d.stores_checked;
+    }
+
     Some(LoopMeasurement {
         loop_id: suite_loop.id,
         set2: suite_loop.in_set2(),
@@ -206,6 +239,7 @@ pub fn measure_one(
         moves: dms.stats.moves_inserted,
         strategy2: dms.stats.strategy2_placements,
         strategy3: dms.stats.strategy3_placements,
+        verified_stores,
     })
 }
 
@@ -287,6 +321,7 @@ pub fn measure_loops_with_stats(
         threads,
         wall_seconds,
         useful_instances: results.iter().map(LoopMeasurement::useful_instances).sum(),
+        stores_verified: results.iter().map(|m| m.verified_stores).sum(),
     };
     (results, stats)
 }
@@ -377,6 +412,29 @@ mod tests {
         assert!(stats.wall_seconds > 0.0);
         assert!(stats.tasks_per_second() > 0.0);
         assert!((stats.schedules_per_second() - 2.0 * stats.tasks_per_second()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verify_mode_executes_every_schedule_against_the_reference() {
+        let mut cfg = ExperimentConfig::quick(10);
+        cfg.cluster_counts = vec![1, 2, 4];
+        cfg.verify = true;
+        let (rows, stats) = measure_suite_with_stats(&cfg);
+        assert_eq!(stats.failed, 0, "every schedule must pass end-to-end verification");
+        assert_eq!(rows.len(), 30);
+        assert!(rows.iter().all(|m| m.verified_stores > 0));
+        assert_eq!(stats.stores_verified, rows.iter().map(|m| m.verified_stores).sum::<u64>());
+        // without verify the counters stay zero and results are unchanged
+        let mut plain = cfg.clone();
+        plain.verify = false;
+        let (plain_rows, plain_stats) = measure_suite_with_stats(&plain);
+        assert_eq!(plain_stats.stores_verified, 0);
+        assert!(plain_rows.iter().all(|m| m.verified_stores == 0));
+        assert_eq!(
+            rows.iter().map(|m| (m.loop_id, m.clusters, m.clustered_ii)).collect::<Vec<_>>(),
+            plain_rows.iter().map(|m| (m.loop_id, m.clusters, m.clustered_ii)).collect::<Vec<_>>(),
+            "verification must not perturb the measurements"
+        );
     }
 
     #[test]

@@ -275,6 +275,36 @@ impl Ddg {
         n
     }
 
+    /// Rewrites every read of `old_producer` *at exactly* `old_distance` in
+    /// `consumer` to read `new_producer` at `new_distance`, and returns how
+    /// many operands were rewritten.
+    ///
+    /// This is the redirection the DMS move chains need: a chain realising a
+    /// distance-`d` dependence absorbs the distance at its first move, so the
+    /// consumer must read the last move at distance 0 — re-pointing the
+    /// operand while *preserving* its distance (as [`Ddg::redirect_reads`]
+    /// does) would apply the distance twice. Matching on the distance also
+    /// keeps a second read of the same producer at a different distance
+    /// untouched.
+    pub fn redirect_reads_at(
+        &mut self,
+        consumer: OpId,
+        old_producer: OpId,
+        old_distance: u32,
+        new_producer: OpId,
+        new_distance: u32,
+    ) -> usize {
+        let op = self.op_mut(consumer);
+        let mut n = 0;
+        for r in &mut op.reads {
+            if *r == (Operand::Def { op: old_producer, distance: old_distance }) {
+                *r = Operand::Def { op: new_producer, distance: new_distance };
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Checks basic structural invariants; returns a description of the
     /// first violation found, if any.
     ///
@@ -370,6 +400,22 @@ mod tests {
         let n = g.redirect_reads(b, a, copy);
         assert_eq!(n, 1);
         assert_eq!(g.op(b).defs_read().next(), Some((copy, 0)));
+    }
+
+    #[test]
+    fn redirect_reads_at_matches_distance_and_rewrites_it() {
+        let mut g = Ddg::new();
+        let a = g.add_op(Operation::new(OpKind::Load, vec![Operand::Induction]));
+        // b reads a twice: same iteration and one iteration back
+        let b = g.add_op(Operation::new(OpKind::Add, vec![a.into(), Operand::def_at(a, 1)]));
+        let mv = g.add_op(Operation::new(OpKind::Move, vec![Operand::def_at(a, 1)]));
+        // only the distance-1 read moves to the chain, at distance 0
+        let n = g.redirect_reads_at(b, a, 1, mv, 0);
+        assert_eq!(n, 1);
+        let defs: Vec<_> = g.op(b).defs_read().collect();
+        assert_eq!(defs, vec![(a, 0), (mv, 0)]);
+        // no operand matches (a, 1) any more
+        assert_eq!(g.redirect_reads_at(b, a, 1, mv, 0), 0);
     }
 
     #[test]

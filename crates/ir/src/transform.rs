@@ -24,7 +24,7 @@ struct Read {
 /// Converts every multiple-use lifetime into a chain of lifetimes with at
 /// most two readers each by inserting `Copy` operations, as required by the
 /// queue register files of the target architecture (paper §3: the conversion
-/// "limit[s] the number of immediate data dependent successors of an
+/// "limit\[s\] the number of immediate data dependent successors of an
 /// operation to 2").
 ///
 /// A value with `k > 2` reads is rewritten as a chain of `k - 2` copies:

@@ -119,10 +119,20 @@ impl MachineConfig {
 
     /// The unclustered machine equivalent to `equivalent_clusters` clusters:
     /// a single cluster with all the useful functional units and no
-    /// communication constraints.
+    /// communication constraints. Its single register file stands in for the
+    /// `equivalent_clusters` per-cluster LRFs of the clustered machine, so
+    /// its capacity scales with the cluster count (otherwise wide unrolled
+    /// loops would spuriously exceed a single cluster's 64 registers on the
+    /// supposedly unconstrained ideal machine).
     pub fn unclustered(equivalent_clusters: u32) -> Self {
         assert!(equivalent_clusters > 0, "a machine needs at least one cluster");
-        Self::homogeneous(1, ClusterFus::PAPER.scaled(equivalent_clusters), LatencySpec::default())
+        let mut m = Self::homogeneous(
+            1,
+            ClusterFus::PAPER.scaled(equivalent_clusters),
+            LatencySpec::default(),
+        );
+        m.lrf_capacity = Self::DEFAULT_LRF_CAPACITY.saturating_mul(equivalent_clusters);
+        m
     }
 
     /// Replaces the latency model.
@@ -262,5 +272,15 @@ mod tests {
     #[should_panic(expected = "at least one cluster")]
     fn zero_cluster_machine_panics() {
         let _ = MachineConfig::paper_clustered(0);
+    }
+
+    #[test]
+    fn unclustered_register_capacity_scales_with_equivalent_clusters() {
+        // The ideal machine's single LRF stands in for n per-cluster LRFs.
+        assert_eq!(MachineConfig::unclustered(1).lrf_capacity, 64);
+        assert_eq!(MachineConfig::unclustered(4).lrf_capacity, 256);
+        assert_eq!(MachineConfig::unclustered(10).lrf_capacity, 640);
+        // clustered machines keep the per-cluster capacity
+        assert_eq!(MachineConfig::paper_clustered(10).lrf_capacity, 64);
     }
 }

@@ -14,7 +14,9 @@
 
 use crate::mii::mii;
 use crate::priority::heights;
-use crate::schedule::{SchedStats, Schedule, ScheduleError, ScheduleResult};
+use crate::schedule::{
+    dependence_bound, earliest_start, SchedStats, Schedule, ScheduleError, ScheduleResult,
+};
 use dms_ir::transform::convert_to_single_use;
 use dms_ir::{Ddg, Loop, OpId};
 use dms_machine::{ClusterId, FuKind, MachineConfig, Mrt};
@@ -45,8 +47,8 @@ impl Default for ImsConfig {
 ///
 /// # Errors
 ///
-/// Returns [`ScheduleError::Unschedulable`] if the loop needs a functional
-/// unit class the machine does not have, and
+/// Returns [`ScheduleError::UnexecutableLoop`] if the loop needs a
+/// functional-unit class the machine does not have, and
 /// [`ScheduleError::IiLimitReached`] if no schedule is found up to the II
 /// limit (which indicates an unreasonably small budget or limit).
 pub fn ims_schedule(
@@ -60,12 +62,7 @@ pub fn ims_schedule(
         copies = convert_to_single_use(&mut ddg, machine.latency()) as u64;
     }
 
-    let bounds = mii(&ddg, machine);
-    if bounds.res_mii == u32::MAX {
-        return Err(ScheduleError::Unschedulable(
-            "the machine lacks a functional-unit class required by the loop".to_string(),
-        ));
-    }
+    let bounds = mii(&ddg, machine)?;
     let start_ii = bounds.mii();
     let max_ii = config.max_ii.unwrap_or_else(|| default_max_ii(&ddg, machine, start_ii));
     let budget = config.budget_ratio as u64 * ddg.num_live_ops().max(1) as u64;
@@ -90,11 +87,21 @@ pub fn ims_schedule(
 }
 
 /// A safe upper bound for the II search: wide enough that every operation can
-/// occupy its own row even on a single-unit machine.
-pub(crate) fn default_max_ii(ddg: &Ddg, machine: &MachineConfig, start_ii: u32) -> u32 {
-    let ops = ddg.num_live_ops() as u32;
+/// occupy its own row even on a single-unit machine. Shared by IMS and DMS.
+///
+/// All arithmetic saturates: a heavily unrolled loop (large `ops`) times the
+/// worst-case latency must cap at `u32::MAX` instead of wrapping to a tiny
+/// limit that would abort the II search spuriously.
+pub fn default_max_ii(ddg: &Ddg, machine: &MachineConfig, start_ii: u32) -> u32 {
+    let ops = ddg.num_live_ops().min(u32::MAX as usize) as u32;
     let lat = machine.latency().max_latency();
-    (ops * lat).max(start_ii) + ops + 8
+    saturating_max_ii(ops, lat, start_ii)
+}
+
+/// The saturating computation behind [`default_max_ii`], separated so the
+/// overflow behaviour is unit-testable without building a 2^28-operation DDG.
+fn saturating_max_ii(ops: u32, lat: u32, start_ii: u32) -> u32 {
+    ops.saturating_mul(lat).max(start_ii).saturating_add(ops).saturating_add(8)
 }
 
 struct ImsOutcome {
@@ -167,7 +174,7 @@ fn try_ims(ddg: &Ddg, machine: &MachineConfig, ii: u32, budget: u64) -> Option<I
             .filter(|(_, e)| e.dst != op)
             .filter_map(|(_, e)| {
                 schedule.get(e.dst).and_then(|d| {
-                    let bound = time as i64 + e.latency as i64 - ii as i64 * e.distance as i64;
+                    let bound = dependence_bound(time, e.latency, ii, e.distance);
                     ((d.time as i64) < bound).then_some(e.dst)
                 })
             })
@@ -183,21 +190,6 @@ fn try_ims(ddg: &Ddg, machine: &MachineConfig, ii: u32, budget: u64) -> Option<I
     }
 
     Some(ImsOutcome { schedule, evictions, budget_used })
-}
-
-/// Earliest start time of `op` given its already-scheduled predecessors.
-pub(crate) fn earliest_start(ddg: &Ddg, schedule: &Schedule, op: OpId, ii: u32) -> u32 {
-    let mut estart = 0i64;
-    for (_, e) in ddg.preds(op) {
-        if e.src == op {
-            continue; // self edges are satisfied by any II >= RecMII
-        }
-        if let Some(p) = schedule.get(e.src) {
-            let bound = p.time as i64 + e.latency as i64 - ii as i64 * e.distance as i64;
-            estart = estart.max(bound);
-        }
-    }
-    estart.max(0) as u32
 }
 
 #[cfg(test)]
@@ -277,8 +269,23 @@ mod tests {
         );
         assert!(matches!(
             ims_schedule(&l, &m, &ImsConfig::default()),
-            Err(ScheduleError::Unschedulable(_))
+            Err(ScheduleError::UnexecutableLoop { fu: FuKind::LoadStore, .. })
         ));
+    }
+
+    #[test]
+    fn default_max_ii_saturates_instead_of_wrapping() {
+        // ops * lat would overflow u32 for a 2^28-op unrolled loop with
+        // latency 100; the limit must cap at u32::MAX, not wrap to a tiny
+        // value that aborts the II search.
+        let huge = saturating_max_ii(1 << 28, 100, 5);
+        assert_eq!(huge, u32::MAX);
+        assert!(huge >= 5, "the limit must never drop below the start II");
+        // the + ops + 8 tail must saturate too
+        assert_eq!(saturating_max_ii(u32::MAX, 1, 1), u32::MAX);
+        // small inputs are unchanged by the saturating form
+        assert_eq!(saturating_max_ii(10, 4, 3), 10 * 4 + 10 + 8);
+        assert_eq!(saturating_max_ii(2, 1, 50), 50 + 2 + 8);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! This crate implements the machinery shared by both schedulers of the
 //! reproduction:
 //!
-//! * [`mii`] — lower bounds on the initiation interval: the resource-bound
+//! * [`mod@mii`] — lower bounds on the initiation interval: the resource-bound
 //!   `ResMII` and the recurrence-bound `RecMII`,
 //! * [`priority`] — Rau's height-based scheduling priority,
 //! * [`schedule`] — the modulo-schedule representation, stage counts and the
@@ -25,8 +25,11 @@ pub mod priority;
 pub mod schedule;
 pub mod validate;
 
-pub use ims::{ims_schedule, ImsConfig};
+pub use ims::{default_max_ii, ims_schedule, ImsConfig};
 pub use mii::{mii, rec_mii, res_mii, MiiBreakdown};
 pub use priority::heights;
-pub use schedule::{SchedStats, Schedule, ScheduleError, ScheduleResult, ScheduledOp};
+pub use schedule::{
+    dependence_bound, earliest_start, SchedStats, Schedule, ScheduleError, ScheduleResult,
+    ScheduledOp,
+};
 pub use validate::{validate_schedule, Violation};

@@ -9,6 +9,7 @@
 //! `MII = max(ResMII, RecMII)` is the starting point of the iterative search
 //! performed by both IMS and DMS.
 
+use crate::schedule::ScheduleError;
 use dms_ir::analysis::sccs;
 use dms_ir::{Ddg, OpId};
 use dms_machine::{FuKind, MachineConfig};
@@ -42,7 +43,14 @@ impl MiiBreakdown {
 /// i.e. it ignores the partitioning constraints of a clustered machine; this
 /// matches the paper, which reports the clustered overhead relative to this
 /// ideal.
-pub fn res_mii(ddg: &Ddg, machine: &MachineConfig) -> u32 {
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::UnexecutableLoop`] if the loop demands a
+/// functional-unit class of which the machine has zero units: no II, however
+/// large, can execute such a loop. (Earlier versions returned a `u32::MAX`
+/// sentinel here, which overflowed the derived II-search limit.)
+pub fn res_mii(ddg: &Ddg, machine: &MachineConfig) -> Result<u32, ScheduleError> {
     let mut demand = [0u32; 4];
     for (_, op) in ddg.live_ops() {
         demand[FuKind::for_op(op.kind).index()] += 1;
@@ -54,14 +62,12 @@ pub fn res_mii(ddg: &Ddg, machine: &MachineConfig) -> u32 {
             continue;
         }
         let units = machine.total_fu(kind);
-        // A machine without units of a demanded class cannot execute the loop
-        // at any II; report a very large bound so the caller fails loudly.
         if units == 0 {
-            return u32::MAX;
+            return Err(ScheduleError::UnexecutableLoop { fu: kind, demand: d });
         }
         bound = bound.max(d.div_ceil(units));
     }
-    bound
+    Ok(bound)
 }
 
 /// Computes the recurrence-constrained lower bound on the II.
@@ -145,8 +151,13 @@ fn has_positive_cycle(ddg: &Ddg, comp: &[OpId], ii: u32) -> bool {
 }
 
 /// Computes both lower bounds.
-pub fn mii(ddg: &Ddg, machine: &MachineConfig) -> MiiBreakdown {
-    MiiBreakdown { res_mii: res_mii(ddg, machine), rec_mii: rec_mii(ddg) }
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::UnexecutableLoop`] if the loop demands a
+/// functional-unit class the machine does not have (see [`res_mii`]).
+pub fn mii(ddg: &Ddg, machine: &MachineConfig) -> Result<MiiBreakdown, ScheduleError> {
+    Ok(MiiBreakdown { res_mii: res_mii(ddg, machine)?, rec_mii: rec_mii(ddg) })
 }
 
 #[cfg(test)]
@@ -166,9 +177,9 @@ mod tests {
         }
         let l = b.finish(8);
         // 4 loads + 4 stores share the L/S unit(s): demand 8
-        assert_eq!(res_mii(&l.ddg, &MachineConfig::unclustered(1)), 8);
-        assert_eq!(res_mii(&l.ddg, &MachineConfig::unclustered(2)), 4);
-        assert_eq!(res_mii(&l.ddg, &MachineConfig::unclustered(8)), 1);
+        assert_eq!(res_mii(&l.ddg, &MachineConfig::unclustered(1)), Ok(8));
+        assert_eq!(res_mii(&l.ddg, &MachineConfig::unclustered(2)), Ok(4));
+        assert_eq!(res_mii(&l.ddg, &MachineConfig::unclustered(8)), Ok(1));
     }
 
     #[test]
@@ -212,7 +223,7 @@ mod tests {
     fn mii_takes_the_max_of_both_bounds() {
         let l = kernels::iir(8); // RecMII 3, small body
         let m = MachineConfig::unclustered(4);
-        let b = mii(&l.ddg, &m);
+        let b = mii(&l.ddg, &m).unwrap();
         assert_eq!(b.rec_mii, 3);
         assert!(b.res_mii <= 3);
         assert_eq!(b.mii(), 3);
@@ -223,20 +234,22 @@ mod tests {
     fn res_mii_dominates_on_narrow_machines() {
         let l = kernels::fir(8, 64); // 8 loads, 8 muls, 7 adds, 1 store
         let m = MachineConfig::unclustered(1);
-        let b = mii(&l.ddg, &m);
+        let b = mii(&l.ddg, &m).unwrap();
         assert_eq!(b.res_mii, 9); // 8 loads + 1 store on one L/S unit
         assert_eq!(b.rec_mii, 1);
         assert_eq!(b.mii(), 9);
     }
 
     #[test]
-    fn missing_fu_class_reports_unschedulable() {
-        let l = kernels::daxpy(8);
+    fn missing_fu_class_reports_unexecutable_loop() {
+        let l = kernels::daxpy(8); // 2 loads + 1 store demand the L/S class
         let m = MachineConfig::homogeneous(
             1,
             dms_machine::ClusterFus { load_store: 0, add: 1, mul: 1, copy: 1 },
             dms_ir::LatencySpec::default(),
         );
-        assert_eq!(res_mii(&l.ddg, &m), u32::MAX);
+        let err = res_mii(&l.ddg, &m).unwrap_err();
+        assert_eq!(err, ScheduleError::UnexecutableLoop { fu: FuKind::LoadStore, demand: 3 });
+        assert!(matches!(mii(&l.ddg, &m), Err(ScheduleError::UnexecutableLoop { .. })));
     }
 }

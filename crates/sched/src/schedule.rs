@@ -2,11 +2,41 @@
 //! by the paper's figures.
 
 use dms_ir::{Ddg, OpId};
-use dms_machine::ClusterId;
+use dms_machine::{ClusterId, FuKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::mii::MiiBreakdown;
+
+/// The lower bound `time(src) + latency - II * distance` that a dependence
+/// edge imposes on its consumer's issue time, computed in `i64` so that
+/// loop-carried edges (`distance > 0`) can express *negative* slack without
+/// wrapping. This is the single definition of the modulo-scheduling
+/// dependence inequality; the schedulers, the chain planner and the
+/// validator all use it.
+#[inline]
+pub fn dependence_bound(src_time: u32, latency: u32, ii: u32, distance: u32) -> i64 {
+    src_time as i64 + latency as i64 - ii as i64 * distance as i64
+}
+
+/// Earliest start time of `op` given its already-scheduled predecessors:
+/// the maximum of [`dependence_bound`] over every incoming edge with a
+/// scheduled source, clamped at 0. Self edges are excluded — they are
+/// satisfied by any II at or above RecMII.
+///
+/// Shared by IMS and the DMS scheduler state so the two cannot drift apart.
+pub fn earliest_start(ddg: &Ddg, schedule: &Schedule, op: OpId, ii: u32) -> u32 {
+    let mut estart = 0i64;
+    for (_, e) in ddg.preds(op) {
+        if e.src == op {
+            continue;
+        }
+        if let Some(p) = schedule.get(e.src) {
+            estart = estart.max(dependence_bound(p.time, e.latency, ii, e.distance));
+        }
+    }
+    estart.max(0) as u32
+}
 
 /// Placement of one operation in the modulo schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -191,9 +221,16 @@ pub enum ScheduleError {
         /// The largest II that was attempted.
         limit: u32,
     },
-    /// The loop cannot be scheduled on this machine at any II (for example a
-    /// required functional-unit class has zero units).
-    Unschedulable(String),
+    /// The loop demands a functional-unit class of which the machine has
+    /// zero units, so no II — however large — can execute it. Replaces the
+    /// old `u32::MAX` ResMII sentinel, which silently overflowed the II
+    /// search bounds.
+    UnexecutableLoop {
+        /// The demanded functional-unit class with zero units.
+        fu: FuKind,
+        /// Number of operations demanding it.
+        demand: u32,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -202,7 +239,11 @@ impl fmt::Display for ScheduleError {
             ScheduleError::IiLimitReached { limit } => {
                 write!(f, "no valid schedule found up to II = {limit}")
             }
-            ScheduleError::Unschedulable(reason) => write!(f, "loop is unschedulable: {reason}"),
+            ScheduleError::UnexecutableLoop { fu, demand } => write!(
+                f,
+                "loop is unexecutable on this machine: {demand} operation(s) demand the {fu} \
+                 unit class, of which the machine has none"
+            ),
         }
     }
 }
@@ -276,6 +317,65 @@ mod tests {
             ScheduleError::IiLimitReached { limit: 64 }.to_string(),
             "no valid schedule found up to II = 64"
         );
-        assert!(ScheduleError::Unschedulable("no adder".into()).to_string().contains("no adder"));
+        let e = ScheduleError::UnexecutableLoop { fu: FuKind::LoadStore, demand: 3 };
+        assert!(e.to_string().contains("3 operation(s)"));
+        assert!(e.to_string().contains("has none"));
+    }
+
+    #[test]
+    fn dependence_bound_matches_the_modulo_inequality() {
+        // intra-iteration edge: plain src + latency
+        assert_eq!(dependence_bound(5, 2, 3, 0), 7);
+        // loop-carried edge: one II of slack per unit of distance
+        assert_eq!(dependence_bound(5, 2, 3, 1), 4);
+        // negative slack: the bound may drop below zero without wrapping
+        assert_eq!(dependence_bound(0, 1, 4, 2), -7);
+        assert_eq!(dependence_bound(0, 0, u32::MAX, 1), -(u32::MAX as i64));
+    }
+
+    fn two_op_graph(latency: u32, distance: u32) -> (Ddg, OpId, OpId) {
+        use dms_ir::{DepEdge, OpKind, Operand, Operation};
+        let mut g = Ddg::new();
+        let a = g.add_op(Operation::new(OpKind::Load, vec![Operand::Induction]));
+        let b = g.add_op(Operation::new(OpKind::Store, vec![Operand::def_at(a, distance)]));
+        g.add_edge(DepEdge::flow(a, b, latency, distance));
+        (g, a, b)
+    }
+
+    #[test]
+    fn earliest_start_of_op_with_unscheduled_preds_is_zero() {
+        let (g, _, b) = two_op_graph(2, 0);
+        let s = Schedule::new(3, g.num_slots());
+        assert_eq!(earliest_start(&g, &s, b, 3), 0);
+    }
+
+    #[test]
+    fn earliest_start_waits_for_scheduled_producers() {
+        let (g, a, b) = two_op_graph(2, 0);
+        let mut s = Schedule::new(3, g.num_slots());
+        s.place(a, 4, ClusterId(0));
+        assert_eq!(earliest_start(&g, &s, b, 3), 6);
+    }
+
+    #[test]
+    fn earliest_start_clamps_negative_slack_of_carried_edges_to_zero() {
+        // producer at time 0, latency 1, distance 2, II 4: the bound is
+        // 0 + 1 - 8 = -7, which must clamp to 0 instead of wrapping to a
+        // huge unsigned time.
+        let (g, a, b) = two_op_graph(1, 2);
+        let mut s = Schedule::new(4, g.num_slots());
+        s.place(a, 0, ClusterId(0));
+        assert_eq!(earliest_start(&g, &s, b, 4), 0);
+    }
+
+    #[test]
+    fn earliest_start_ignores_self_edges() {
+        use dms_ir::{DepEdge, OpKind, Operand, Operation};
+        let mut g = Ddg::new();
+        let a = g.add_op(Operation::new(OpKind::Add, vec![Operand::Induction]));
+        g.add_edge(DepEdge::flow(a, a, 10, 1));
+        let mut s = Schedule::new(2, g.num_slots());
+        s.place(a, 3, ClusterId(0));
+        assert_eq!(earliest_start(&g, &s, a, 2), 0);
     }
 }

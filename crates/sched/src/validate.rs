@@ -12,7 +12,7 @@
 //!    dependence are scheduled in directly connected clusters (same cluster
 //!    or ring distance 1) — the *communication constraint* of the paper.
 
-use crate::schedule::Schedule;
+use crate::schedule::{dependence_bound, Schedule};
 use dms_ir::{Ddg, DepEdge, OpId};
 use dms_machine::{ClusterId, FuKind, MachineConfig};
 use std::fmt;
@@ -109,7 +109,7 @@ pub fn validate_schedule(
             continue; // already reported as Unscheduled
         };
         let lhs = dst.time as i64;
-        let rhs = src.time as i64 + edge.latency as i64 - ii as i64 * edge.distance as i64;
+        let rhs = dependence_bound(src.time, edge.latency, ii, edge.distance);
         if lhs < rhs {
             violations.push(Violation::Dependence {
                 edge: *edge,

@@ -12,7 +12,7 @@
 //! broken queue discipline changes those values and is reported.
 
 use crate::interp::reference_trace;
-use crate::values::{apply, initial_value, invariant_value};
+use crate::values::{apply, initial_value, invariant_value, live_in_value};
 use dms_ir::{OpId, OpKind, Operand};
 use dms_machine::{MachineConfig, QueueFile};
 use dms_sched::schedule::ScheduleResult;
@@ -52,12 +52,30 @@ pub enum SimError {
         consumer: OpId,
     },
     /// A consumer tried to read from an empty inter-cluster queue (the value
-    /// had not been produced yet, or the queue overflowed earlier).
+    /// had not been produced yet).
     EmptyQueueRead {
         /// Consumer operation.
         consumer: OpId,
         /// Iteration of the consumer.
         iteration: u64,
+    },
+    /// A producer pushed into a full inter-cluster queue: the schedule keeps
+    /// more values in flight than the CQRF capacity allows. Reported eagerly
+    /// instead of dropping the value, which would corrupt every later read
+    /// of the stream and misdiagnose a capacity problem as a value bug.
+    QueueOverflow {
+        /// Producer operation whose value did not fit.
+        producer: OpId,
+        /// Consumer operation owning the overflowing stream.
+        consumer: OpId,
+    },
+    /// The emitted VLIW program is inconsistent with the DDG it claims to
+    /// implement (wrong operand annotation, wrong arity, wrong endpoint).
+    MalformedProgram {
+        /// The operation whose slot is inconsistent.
+        op: OpId,
+        /// What is wrong with it.
+        detail: String,
     },
     /// A stored value differs from the reference execution.
     StoreMismatch {
@@ -81,6 +99,12 @@ impl fmt::Display for SimError {
             }
             SimError::EmptyQueueRead { consumer, iteration } => {
                 write!(f, "{consumer} read an empty queue in iteration {iteration}")
+            }
+            SimError::MalformedProgram { op, detail } => {
+                write!(f, "emitted program is inconsistent at {op}: {detail}")
+            }
+            SimError::QueueOverflow { producer, consumer } => {
+                write!(f, "value of {producer} for {consumer} overflowed a CQRF: capacity exceeded")
             }
             SimError::StoreMismatch { op, iteration, expected, actual } => write!(
                 f,
@@ -131,7 +155,9 @@ pub fn simulate(
             let mut q = QueueFile::new(machine.cqrf_capacity.max(1) as usize);
             for k in 0..distance {
                 // live-in values of loop-carried dependences, oldest first
-                q.push(initial_value(producer, k as i64 - distance as i64));
+                if !q.push(live_in_value(ddg, producer, k as i64 - distance as i64)) {
+                    return Err(SimError::QueueOverflow { producer, consumer });
+                }
             }
             queues.insert((consumer, idx), q);
             fanout.entry(producer).or_default().push((consumer, idx));
@@ -175,7 +201,7 @@ pub fn simulate(
                         // local (same-cluster) read: LRF lookup
                         let wanted = j as i64 - distance as i64;
                         if wanted < 0 {
-                            initial_value(producer, wanted)
+                            live_in_value(ddg, producer, wanted)
                         } else {
                             history
                                 .get(&producer)
@@ -202,7 +228,9 @@ pub fn simulate(
             for key in keys {
                 cross_values += 1;
                 if let Some(q) = queues.get_mut(key) {
-                    q.push(value);
+                    if !q.push(value) {
+                        return Err(SimError::QueueOverflow { producer: op, consumer: key.0 });
+                    }
                 }
             }
         }

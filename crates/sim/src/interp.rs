@@ -5,7 +5,7 @@
 //! sequence of stored values it produces is the ground truth the pipelined
 //! executor must reproduce.
 
-use crate::values::{apply, initial_value, invariant_value};
+use crate::values::{apply, initial_value, invariant_value, live_in_value};
 use dms_ir::analysis::topological_order;
 use dms_ir::{Ddg, OpId, OpKind, Operand};
 use serde::{Deserialize, Serialize};
@@ -38,7 +38,7 @@ pub fn reference_trace(ddg: &Ddg, trip_count: u64) -> Vec<StoreRecord> {
         for &op in &order {
             let operation = ddg.op(op);
             let operands: Vec<i64> =
-                operation.reads.iter().map(|r| operand_value(r, i, &history)).collect();
+                operation.reads.iter().map(|r| operand_value(ddg, r, i, &history)).collect();
             let value = apply(operation.kind, &operands, i);
             history.entry(op).or_default().push(value);
             if operation.kind == OpKind::Store {
@@ -49,7 +49,12 @@ pub fn reference_trace(ddg: &Ddg, trip_count: u64) -> Vec<StoreRecord> {
     trace
 }
 
-fn operand_value(operand: &Operand, iteration: u64, history: &HashMap<OpId, Vec<i64>>) -> i64 {
+fn operand_value(
+    ddg: &Ddg,
+    operand: &Operand,
+    iteration: u64,
+    history: &HashMap<OpId, Vec<i64>>,
+) -> i64 {
     match *operand {
         Operand::Immediate(v) => v,
         Operand::Invariant(k) => invariant_value(k),
@@ -57,7 +62,7 @@ fn operand_value(operand: &Operand, iteration: u64, history: &HashMap<OpId, Vec<
         Operand::Def { op, distance } => {
             let wanted = iteration as i64 - distance as i64;
             if wanted < 0 {
-                initial_value(op, wanted)
+                live_in_value(ddg, op, wanted)
             } else {
                 history
                     .get(&op)

@@ -11,10 +11,17 @@
 //!   prologue and epilogue) on the clustered machine model, routing every
 //!   cross-cluster value through a FIFO queue and checking single-read
 //!   discipline,
-//! * [`values`] — the deterministic value semantics shared by both.
+//! * [`vliw`] — an executor for the *emitted* VLIW program (the
+//!   `dms_regalloc::emit` output): prologue, kernel repetitions and epilogue
+//!   run instruction word by instruction word, operands read from the
+//!   register files their codegen annotations name,
+//! * [`verify`] — the end-to-end oracle: validate → allocate → emit →
+//!   execute → cross-check against the scalar reference,
+//! * [`values`] — the deterministic value semantics shared by all of them.
 //!
-//! The main entry point is [`simulate`], which runs both and cross-checks the
-//! stored results.
+//! The schedule-level entry point is [`simulate`]; the pipeline-level entry
+//! point is [`verify_schedule`], re-exported at the workspace root as
+//! `dms::verify_schedule`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -22,6 +29,10 @@
 pub mod exec;
 pub mod interp;
 pub mod values;
+pub mod verify;
+pub mod vliw;
 
 pub use exec::{simulate, SimError, SimReport};
 pub use interp::{reference_trace, StoreRecord};
+pub use verify::{verify_schedule, VerifyError, VerifyReport};
+pub use vliw::{execute_program, ProgramReport};

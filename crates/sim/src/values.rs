@@ -6,7 +6,7 @@
 //! producer, wrong iteration, wrong queue order) changes the values reaching
 //! the stores and is therefore detected by the cross-check.
 
-use dms_ir::{OpId, OpKind};
+use dms_ir::{Ddg, OpId, OpKind, Operand};
 
 /// Value of a loop-invariant input.
 pub fn invariant_value(index: u32) -> i64 {
@@ -17,6 +17,36 @@ pub fn invariant_value(index: u32) -> i64 {
 /// operation is considered to have produced in iteration `iteration < 0`.
 pub fn initial_value(op: OpId, iteration: i64) -> i64 {
     (op.0 as i64 + 1) * 1_000_003 + iteration
+}
+
+/// Live-in value of `op` for iteration `iteration < 0`, resolving identity
+/// operations through their source chain.
+///
+/// The single-use conversion and the DMS move chains insert `Copy`/`Move`
+/// operations that *forward* a value: a copy read at distance `d` must have
+/// the same live-ins as the producer it copies, or the transformed graph
+/// would compute different values than the original in the first `d`
+/// iterations. This walks `copy@i = source@(i - distance)` links until it
+/// reaches a non-identity operation and takes *its* [`initial_value`], so
+/// the original and the transformed DDG agree on every live-in.
+pub fn live_in_value(ddg: &Ddg, op: OpId, iteration: i64) -> i64 {
+    let mut cur = op;
+    let mut it = iteration;
+    // copy/move chains are acyclic; the cap only guards corrupted graphs
+    for _ in 0..=ddg.num_slots() {
+        let operation = ddg.op(cur);
+        if !matches!(operation.kind, OpKind::Copy | OpKind::Move) {
+            return initial_value(cur, it);
+        }
+        match operation.reads.first().and_then(Operand::producer) {
+            Some((src, distance)) => {
+                it -= distance as i64;
+                cur = src;
+            }
+            None => return initial_value(cur, it),
+        }
+    }
+    initial_value(cur, it)
 }
 
 /// A cheap deterministic mixing function used as the "memory contents"
@@ -85,6 +115,30 @@ mod tests {
     fn initial_values_are_distinct_per_op_and_iteration() {
         assert_ne!(initial_value(OpId(0), -1), initial_value(OpId(1), -1));
         assert_ne!(initial_value(OpId(0), -1), initial_value(OpId(0), -2));
+    }
+
+    #[test]
+    fn live_in_of_identity_chains_resolves_to_the_root_producer() {
+        use dms_ir::{DepEdge, Operand, Operation};
+        let mut g = Ddg::new();
+        let p = g.add_op(Operation::new(OpKind::Load, vec![Operand::Induction]));
+        // copy reads p in the same iteration; read at distance d, its live-in
+        // is p's live-in of the same (negative) iteration
+        let c0 = g.add_op(Operation::new(OpKind::Copy, vec![Operand::def(p)]));
+        g.add_edge(DepEdge::flow(p, c0, 2, 0));
+        // a move carrying a distance-2 dependence shifts by that distance
+        let m0 = g.add_op(Operation::new(OpKind::Move, vec![Operand::def_at(p, 2)]));
+        g.add_edge(DepEdge::flow(p, m0, 2, 2));
+        // chains compose
+        let m1 = g.add_op(Operation::new(OpKind::Move, vec![Operand::def(m0)]));
+        g.add_edge(DepEdge::flow(m0, m1, 1, 0));
+
+        assert_eq!(live_in_value(&g, p, -1), initial_value(p, -1));
+        assert_eq!(live_in_value(&g, c0, -1), initial_value(p, -1));
+        assert_eq!(live_in_value(&g, m0, -1), initial_value(p, -3));
+        assert_eq!(live_in_value(&g, m1, -2), initial_value(p, -4));
+        // non-identity ops are untouched by the resolution
+        assert_ne!(live_in_value(&g, c0, -1), initial_value(c0, -1));
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Execution of the *emitted* VLIW program.
+//!
+//! [`crate::exec::simulate`] executes a schedule abstractly, from the
+//! placement table. This module goes one layer lower and executes the code
+//! the register allocator's code generator actually emits — the fully
+//! unrolled prologue, `K` repetitions of the steady-state kernel, and the
+//! epilogue — the way the hardware would: instruction word by instruction
+//! word, each operand read from the register file its [`OperandSource`]
+//! annotation names. Every value that the code generator routed through a
+//! CQRF travels through a FIFO stream with single-read discipline; every
+//! local value is read back from the producing cluster's register file.
+//!
+//! Executing the emitted program (rather than the schedule) makes the
+//! codegen layer load-bearing: a wrong operand annotation, a missing kernel
+//! slot or a mis-ordered prologue changes the values reaching the stores and
+//! is caught by the cross-check in [`crate::verify`].
+
+use crate::interp::StoreRecord;
+use crate::values::{apply, initial_value, invariant_value, live_in_value};
+use dms_ir::{Ddg, OpId, OpKind};
+use dms_machine::{MachineConfig, QueueFile};
+use dms_regalloc::codegen::{CodeSlot, OperandSource, VliwProgram};
+use std::collections::HashMap;
+
+use crate::exec::SimError;
+
+/// Summary of one program execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramReport {
+    /// Total cycles: `(trip_count + stages - 1) * II`.
+    pub cycles: u64,
+    /// Times the steady-state kernel was issued
+    /// (`trip_count - stages + 1` when the pipeline fills completely).
+    pub kernel_repetitions: u64,
+    /// Operation instances executed across prologue, kernel and epilogue.
+    pub instances_executed: u64,
+    /// Useful (non copy/move) instances among them.
+    pub useful_instances: u64,
+    /// Values that travelled through a CQRF stream.
+    pub cross_cluster_values: u64,
+    /// Largest occupancy reached by any CQRF stream.
+    pub max_queue_depth: u64,
+    /// Every value stored, in issue order.
+    pub stores: Vec<StoreRecord>,
+}
+
+/// Key of a CQRF operand stream: `(consumer, operand index)` — one stream
+/// per consuming operand, exactly how the queue registers are allocated.
+type StreamKey = (OpId, usize);
+
+struct ProgramState {
+    queues: HashMap<StreamKey, QueueFile<i64>>,
+    fanout: HashMap<OpId, Vec<StreamKey>>,
+    history: HashMap<OpId, Vec<i64>>,
+    iteration_of: HashMap<OpId, u64>,
+    trip_count: u64,
+    report: ProgramReport,
+}
+
+/// Executes `trip_count` iterations of the emitted program.
+///
+/// `ddg` must be the scheduled DDG the program was emitted from (it supplies
+/// the iteration distance of every operand, which the instruction encoding
+/// does not carry).
+///
+/// # Errors
+///
+/// Returns a [`SimError`] for an inconsistency between program and DDG, or a
+/// read from an empty CQRF stream; a correctly emitted program of a valid
+/// schedule never fails.
+pub fn execute_program(
+    program: &VliwProgram,
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    trip_count: u64,
+) -> Result<ProgramReport, SimError> {
+    let stages = program.stages.max(1) as u64;
+    let kernel_repetitions = trip_count.saturating_sub(stages - 1);
+    let cycles = if trip_count == 0 { 0 } else { (trip_count + stages - 1) * program.ii as u64 };
+
+    let mut st = ProgramState {
+        queues: HashMap::new(),
+        fanout: HashMap::new(),
+        history: HashMap::new(),
+        iteration_of: HashMap::new(),
+        trip_count,
+        report: ProgramReport {
+            cycles,
+            kernel_repetitions,
+            instances_executed: 0,
+            useful_instances: 0,
+            cross_cluster_values: 0,
+            max_queue_depth: 0,
+            stores: Vec::new(),
+        },
+    };
+
+    // --- set up one FIFO stream per CQRF-annotated operand ------------------
+    // Every live operation appears exactly once in the kernel, so one pass
+    // over the kernel words discovers every stream.
+    for slot in program.kernel.iter().flat_map(|w| &w.slots) {
+        let operation = ddg.op(slot.op);
+        if slot.sources.len() != operation.reads.len() {
+            return Err(SimError::MalformedProgram {
+                op: slot.op,
+                detail: format!(
+                    "slot has {} operand sources but the operation reads {} values",
+                    slot.sources.len(),
+                    operation.reads.len()
+                ),
+            });
+        }
+        for (idx, source) in slot.sources.iter().enumerate() {
+            let OperandSource::Cqrf { producer, queue } = source else { continue };
+            let Some((read_producer, distance)) = operation.reads[idx].producer() else {
+                return Err(SimError::MalformedProgram {
+                    op: slot.op,
+                    detail: format!("operand {idx} is annotated as a CQRF read but is no Def"),
+                });
+            };
+            if read_producer != *producer || queue.reader != slot.cluster {
+                return Err(SimError::MalformedProgram {
+                    op: slot.op,
+                    detail: format!("operand {idx} CQRF annotation names the wrong endpoint"),
+                });
+            }
+            let mut q = QueueFile::new(machine.cqrf_capacity.max(1) as usize);
+            for k in 0..distance {
+                // live-in values of loop-carried dependences, oldest first
+                if !q.push(live_in_value(ddg, *producer, k as i64 - distance as i64)) {
+                    return Err(SimError::QueueOverflow { producer: *producer, consumer: slot.op });
+                }
+            }
+            st.queues.insert((slot.op, idx), q);
+            st.fanout.entry(*producer).or_default().push((slot.op, idx));
+        }
+    }
+    // Deterministic push order for producers feeding several streams.
+    for streams in st.fanout.values_mut() {
+        streams.sort_unstable();
+    }
+
+    // --- issue the words in program order -----------------------------------
+    for word in &program.prologue {
+        for slot in &word.slots {
+            issue(&mut st, ddg, slot)?;
+        }
+    }
+    for _ in 0..kernel_repetitions {
+        for word in &program.kernel {
+            for slot in &word.slots {
+                issue(&mut st, ddg, slot)?;
+            }
+        }
+    }
+    for word in &program.epilogue {
+        for slot in &word.slots {
+            issue(&mut st, ddg, slot)?;
+        }
+    }
+
+    st.report.max_queue_depth =
+        st.queues.values().map(|q| q.high_water() as u64).max().unwrap_or(0);
+    Ok(st.report)
+}
+
+/// Executes one slot occurrence: the next iteration of its operation.
+fn issue(st: &mut ProgramState, ddg: &Ddg, slot: &CodeSlot) -> Result<(), SimError> {
+    let j = *st.iteration_of.get(&slot.op).unwrap_or(&0);
+    if j >= st.trip_count {
+        // Ramp code for an iteration beyond the trip count (only possible
+        // when trip_count < stages): the hardware predicates it off.
+        return Ok(());
+    }
+    st.iteration_of.insert(slot.op, j + 1);
+    let operation = ddg.op(slot.op);
+
+    let mut operands = Vec::with_capacity(slot.sources.len());
+    for (idx, source) in slot.sources.iter().enumerate() {
+        let value = match source {
+            OperandSource::Immediate(v) => *v,
+            OperandSource::Invariant(k) => invariant_value(*k),
+            OperandSource::Induction => j as i64,
+            OperandSource::Cqrf { .. } => st
+                .queues
+                .get_mut(&(slot.op, idx))
+                .and_then(QueueFile::pop)
+                .ok_or(SimError::EmptyQueueRead { consumer: slot.op, iteration: j })?,
+            OperandSource::Lrf { producer } => {
+                let Some((read_producer, distance)) = operation.reads[idx].producer() else {
+                    return Err(SimError::MalformedProgram {
+                        op: slot.op,
+                        detail: format!("operand {idx} is annotated as an LRF read but is no Def"),
+                    });
+                };
+                if read_producer != *producer {
+                    return Err(SimError::MalformedProgram {
+                        op: slot.op,
+                        detail: format!("operand {idx} LRF annotation names the wrong producer"),
+                    });
+                }
+                let wanted = j as i64 - distance as i64;
+                if wanted < 0 {
+                    live_in_value(ddg, *producer, wanted)
+                } else {
+                    st.history
+                        .get(producer)
+                        .and_then(|h| h.get(wanted as usize))
+                        .copied()
+                        .unwrap_or_else(|| initial_value(*producer, wanted))
+                }
+            }
+        };
+        operands.push(value);
+    }
+
+    let value = apply(slot.kind, &operands, j);
+    st.history.entry(slot.op).or_default().push(value);
+    st.report.instances_executed += 1;
+    if slot.kind.is_useful() {
+        st.report.useful_instances += 1;
+    }
+    if slot.kind == OpKind::Store {
+        st.report.stores.push(StoreRecord { op: slot.op, iteration: j, value });
+    }
+    if let Some(streams) = st.fanout.get(&slot.op) {
+        for key in streams {
+            st.report.cross_cluster_values += 1;
+            if let Some(q) = st.queues.get_mut(key) {
+                if !q.push(value) {
+                    return Err(SimError::QueueOverflow { producer: slot.op, consumer: key.0 });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::reference_trace;
+    use dms_core::{dms_schedule, DmsConfig};
+    use dms_ir::kernels;
+    use dms_regalloc::emit;
+    use dms_sched::ims::{ims_schedule, ImsConfig};
+
+    fn sorted(mut v: Vec<StoreRecord>) -> Vec<StoreRecord> {
+        v.sort_unstable_by_key(|r| (r.iteration, r.op));
+        v
+    }
+
+    #[test]
+    fn emitted_program_reproduces_the_reference_trace() {
+        for l in kernels::all(40) {
+            for clusters in [1, 2, 4, 8] {
+                let m = MachineConfig::paper_clustered(clusters);
+                let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap();
+                let p = emit(&r, &m);
+                let exec = execute_program(&p, &r.ddg, &m, l.trip_count)
+                    .unwrap_or_else(|e| panic!("{} on {clusters} clusters: {e}", l.name));
+                assert_eq!(
+                    sorted(exec.stores),
+                    sorted(reference_trace(&l.ddg, l.trip_count)),
+                    "{} on {clusters} clusters",
+                    l.name
+                );
+                assert_eq!(exec.useful_instances, l.useful_ops() as u64 * l.trip_count);
+                assert_eq!(exec.cycles, r.cycles(l.trip_count));
+            }
+        }
+    }
+
+    #[test]
+    fn ims_programs_execute_without_cqrf_traffic() {
+        let l = kernels::fir(6, 64);
+        let m = MachineConfig::unclustered(4);
+        let r = ims_schedule(&l, &m, &ImsConfig::default()).unwrap();
+        let p = emit(&r, &m);
+        let exec = execute_program(&p, &r.ddg, &m, l.trip_count).unwrap();
+        assert_eq!(exec.cross_cluster_values, 0);
+        assert_eq!(exec.stores.len(), l.trip_count as usize);
+    }
+
+    #[test]
+    fn trip_count_shorter_than_the_pipeline_is_predicated_off() {
+        let l = kernels::horner(5, 8);
+        let m = MachineConfig::paper_clustered(2);
+        let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap();
+        let p = emit(&r, &m);
+        for trips in [0u64, 1, 2] {
+            let exec = execute_program(&p, &r.ddg, &m, trips).unwrap();
+            assert_eq!(sorted(exec.stores), sorted(reference_trace(&l.ddg, trips)));
+        }
+    }
+
+    #[test]
+    fn undersized_cqrf_reports_overflow_not_a_value_bug() {
+        // Find a schedule with real queue pressure (depth >= 2), then shrink
+        // the CQRFs to one register and execute *without* the allocate()
+        // capacity gate: the executor must report the overflow eagerly
+        // instead of dropping values and misdiagnosing a capacity problem as
+        // a store mismatch.
+        let mut exercised = false;
+        for l in [kernels::fir(16, 128), dms_ir::transform::unroll(&kernels::daxpy(512), 8)] {
+            let m = MachineConfig::paper_clustered(8);
+            let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap();
+            let p = emit(&r, &m);
+            let depth = execute_program(&p, &r.ddg, &m, 64).unwrap().max_queue_depth;
+            if depth < 2 {
+                continue;
+            }
+            exercised = true;
+            let tight = MachineConfig::paper_clustered(8).with_cqrf_capacity(1);
+            assert!(
+                matches!(
+                    execute_program(&p, &r.ddg, &tight, 64),
+                    Err(SimError::QueueOverflow { .. })
+                ),
+                "{}: a depth-{depth} stream must overflow a 1-register CQRF",
+                l.name
+            );
+        }
+        assert!(exercised, "no candidate schedule had queue depth >= 2");
+    }
+
+    #[test]
+    fn mismatched_slot_arity_is_reported() {
+        let l = kernels::daxpy(16);
+        let m = MachineConfig::paper_clustered(2);
+        let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap();
+        let mut p = emit(&r, &m);
+        // corrupt one kernel slot: drop an operand source
+        let slot = p
+            .kernel
+            .iter_mut()
+            .flat_map(|w| &mut w.slots)
+            .find(|s| s.sources.len() > 1)
+            .expect("daxpy has multi-operand slots");
+        slot.sources.pop();
+        assert!(matches!(
+            execute_program(&p, &r.ddg, &m, 8),
+            Err(SimError::MalformedProgram { .. })
+        ));
+    }
+}

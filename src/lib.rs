@@ -4,6 +4,15 @@
 //! The actual library lives in the member crates; this crate only re-exports
 //! them so that the runnable `examples/` and the cross-crate integration
 //! tests in `tests/` have a single, convenient dependency.
+//!
+//! The one first-class entry point exposed here is [`verify_schedule`]: the
+//! end-to-end functional-correctness oracle (validate → register-allocate →
+//! emit VLIW code → execute on the clustered machine interpreter →
+//! cross-check the stores against a scalar reference interpretation of the
+//! source loop). Every scheduler change can — and should — be checked
+//! against it.
+
+pub use dms_sim::{verify_schedule, VerifyError, VerifyReport};
 
 pub use dms_core as core;
 pub use dms_experiments as experiments;

@@ -1,0 +1,131 @@
+//! Simulator-backed end-to-end schedule verification over the workload
+//! suite.
+//!
+//! These tests close the loop the structural validator cannot: every
+//! schedule the sweep produces is lowered through register allocation and
+//! code generation, the emitted VLIW program (prologue, steady-state kernel
+//! and epilogue) is *executed* on the clustered machine interpreter, and the
+//! live-out (stored) values are required to be bit-equal to a scalar
+//! reference interpretation of the original loop DDG. Any dependence
+//! mis-scheduling, wrong cluster assignment, broken queue discipline or
+//! codegen operand mix-up changes a stored value and fails here.
+
+use dms::verify_schedule;
+use dms_core::{dms_schedule, DmsConfig};
+use dms_machine::MachineConfig;
+use dms_sched::ims::{ims_schedule, ImsConfig};
+use dms_sched::validate_schedule;
+use dms_workloads::{generate, unroll_for_machine, SuiteConfig, UnrollPolicy};
+
+/// Iterations to execute per verification: enough to fill and drain the
+/// software pipeline several times while keeping the suite sweep fast.
+const TRIPS: u64 = 48;
+
+/// Every suite loop, scheduled by IMS (on the equivalent unclustered
+/// machine) and by DMS (on the clustered machine) at 1, 2 and 4 clusters,
+/// executes with live-out values bit-equal to the scalar reference.
+#[test]
+fn suite_schedules_execute_bit_equal_to_the_reference() {
+    let suite = generate(&SuiteConfig::small(32));
+    let unroll = UnrollPolicy::default();
+    for sl in &suite {
+        for clusters in [1u32, 2, 4] {
+            let clustered = MachineConfig::paper_clustered(clusters);
+            let unclustered = MachineConfig::unclustered(clusters);
+            let body = unroll_for_machine(&sl.body, clustered.total_useful_fus(), &unroll);
+            let trips = body.trip_count.min(TRIPS);
+
+            let ims = ims_schedule(&body, &unclustered, &ImsConfig::default())
+                .unwrap_or_else(|e| panic!("{} (IMS, {clusters} clusters): {e}", body.name));
+            let rep = verify_schedule(&body, &ims, &unclustered, trips).unwrap_or_else(|e| {
+                panic!("{} (IMS, {clusters} clusters) failed verification: {e}", body.name)
+            });
+            assert!(rep.stores_checked > 0, "{}: nothing verified", body.name);
+            assert_eq!(rep.cross_cluster_values, 0, "{}: unclustered CQRF traffic", body.name);
+
+            let dms = dms_schedule(&body, &clustered, &DmsConfig::default())
+                .unwrap_or_else(|e| panic!("{} (DMS, {clusters} clusters): {e}", body.name));
+            let rep = verify_schedule(&body, &dms, &clustered, trips).unwrap_or_else(|e| {
+                panic!("{} (DMS, {clusters} clusters) failed verification: {e}", body.name)
+            });
+            assert!(rep.stores_checked > 0, "{}: nothing verified", body.name);
+            assert!(rep.total_registers > 0);
+            assert_eq!(rep.cycles, dms.cycles(trips));
+        }
+    }
+}
+
+/// Validator completeness: every schedule the sweep produces — both
+/// schedulers, every cluster count of the paper's range — passes the
+/// structural validator, so the simulator oracle above and the structural
+/// checks are exercised on the same population.
+#[test]
+fn every_sweep_schedule_passes_the_structural_validator() {
+    let suite = generate(&SuiteConfig::small(16));
+    let unroll = UnrollPolicy::default();
+    for sl in &suite {
+        for clusters in 1u32..=10 {
+            let clustered = MachineConfig::paper_clustered(clusters);
+            let unclustered = MachineConfig::unclustered(clusters);
+            let body = unroll_for_machine(&sl.body, clustered.total_useful_fus(), &unroll);
+
+            let ims = ims_schedule(&body, &unclustered, &ImsConfig::default()).unwrap();
+            let v = validate_schedule(&ims.ddg, &unclustered, &ims.schedule);
+            assert!(v.is_empty(), "{} (IMS, {clusters} clusters): {v:?}", body.name);
+
+            let dms = dms_schedule(&body, &clustered, &DmsConfig::default()).unwrap();
+            let v = validate_schedule(&dms.ddg, &clustered, &dms.schedule);
+            assert!(v.is_empty(), "{} (DMS, {clusters} clusters): {v:?}", body.name);
+        }
+    }
+}
+
+/// The verify sweep composes with the work-stealing executor: verify mode on
+/// 1 vs 4 workers produces byte-identical measurement CSV, with zero failed
+/// tasks and a non-zero verified-store count folded into the stats.
+#[test]
+fn verify_sweep_is_deterministic_across_worker_counts() {
+    use dms_experiments::{measure_suite_with_stats, report, ExperimentConfig};
+    let mut serial = ExperimentConfig::quick(12);
+    serial.cluster_counts = vec![1, 2, 4];
+    serial.verify = true;
+    serial.threads = 1;
+    let mut parallel = serial.clone();
+    parallel.threads = 4;
+
+    let (a, sa) = measure_suite_with_stats(&serial);
+    let (b, sb) = measure_suite_with_stats(&parallel);
+    assert_eq!(sa.failed, 0, "a verification failure is a compiler bug");
+    assert_eq!(sb.failed, 0);
+    assert!(sa.stores_verified > 0);
+    assert_eq!(sa.stores_verified, sb.stores_verified);
+    assert_eq!(
+        report::measurements_csv(&a),
+        report::measurements_csv(&b),
+        "verify-mode sweep output must not depend on the worker count"
+    );
+}
+
+/// A machine lacking a demanded functional-unit class yields a clean
+/// `ScheduleError::UnexecutableLoop` from both schedulers — not a
+/// `u32::MAX`-driven overflow of the II search.
+#[test]
+fn missing_fu_class_is_a_clean_error_for_both_schedulers() {
+    use dms_machine::{ClusterFus, FuKind};
+    use dms_sched::ScheduleError;
+    let no_muls = ClusterFus { load_store: 1, add: 1, mul: 0, copy: 1 };
+    let l = dms_ir::kernels::fir(4, 64); // FIR needs multipliers
+    for clusters in [1u32, 4] {
+        let m = MachineConfig::homogeneous(clusters, no_muls, dms_ir::LatencySpec::default());
+        let i = ims_schedule(&l, &m, &ImsConfig::default());
+        assert!(
+            matches!(i, Err(ScheduleError::UnexecutableLoop { fu: FuKind::Mul, .. })),
+            "IMS on {clusters} cluster(s): {i:?}"
+        );
+        let d = dms_schedule(&l, &m, &DmsConfig::default());
+        assert!(
+            matches!(d, Err(ScheduleError::UnexecutableLoop { fu: FuKind::Mul, .. })),
+            "DMS on {clusters} cluster(s): {d:?}"
+        );
+    }
+}
