@@ -1,4 +1,5 @@
-//! The DMS driver: II search plus the three placement strategies.
+//! The DMS driver: II search, the three placement strategies, and the
+//! register-pressure relaxation loop.
 
 use crate::chains::{self, ChainPolicy};
 use crate::state::SchedulerState;
@@ -7,6 +8,7 @@ use dms_ir::{Ddg, Loop, OpId};
 use dms_machine::{ClusterId, FuKind, MachineConfig};
 use dms_sched::ims::default_max_ii;
 use dms_sched::mii::mii;
+use dms_sched::pressure::QueuePressure;
 use dms_sched::schedule::{SchedStats, Schedule, ScheduleError, ScheduleResult};
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +26,22 @@ pub enum SingleUsePolicy {
     Never,
 }
 
+/// How DMS uses the incremental queue-register-pressure estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PressureMode {
+    /// The default: pressure breaks placement ties towards unsaturated
+    /// queues, and a schedule whose final pressure exceeds any LRF/CQRF
+    /// capacity is rejected and retried at II + 1 (the *pressure-relaxation
+    /// loop* — a larger II shortens every queue depth, `ceil(length / II)`).
+    #[default]
+    Aware,
+    /// Ablation/regression mode: schedule exactly as the pressure-blind
+    /// algorithm did — no tie-breaking, no capacity retries. Schedules that
+    /// fit every structural constraint but overflow a queue file are
+    /// returned as-is and fail in `dms_regalloc::allocate`.
+    Ignore,
+}
+
 /// Tuning parameters of the DMS search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DmsConfig {
@@ -36,6 +54,8 @@ pub struct DmsConfig {
     pub chain_policy: ChainPolicy,
     /// When to apply the single-use conversion.
     pub single_use: SingleUsePolicy,
+    /// Whether scheduling is register-pressure-aware.
+    pub pressure: PressureMode,
 }
 
 impl Default for DmsConfig {
@@ -45,22 +65,76 @@ impl Default for DmsConfig {
             max_ii: None,
             chain_policy: ChainPolicy::MaxFreeSlots,
             single_use: SingleUsePolicy::ClusteredOnly,
+            pressure: PressureMode::Aware,
         }
+    }
+}
+
+/// The result of a DMS run: the schedule plus the provenance of the
+/// pressure-relaxation loop that produced it.
+///
+/// Dereferences to the inner [`ScheduleResult`], so existing consumers
+/// (`validate_schedule`, `dms_regalloc::allocate`, `dms::verify_schedule`,
+/// `.ii()`, `.stats`, …) keep working unchanged on the outcome.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// The accepted schedule (including the transformed DDG and statistics).
+    pub result: ScheduleResult,
+    /// II of the first structurally-valid schedule the search found. Equal
+    /// to `self.ii()` unless the pressure-relaxation loop rejected that
+    /// schedule for exceeding a queue-file capacity.
+    pub first_ii: u32,
+    /// Structurally-valid schedules rejected because a queue file exceeded
+    /// its capacity, each answered by a retry at the next II. Always 0 in
+    /// [`PressureMode::Ignore`].
+    pub pressure_retries: u32,
+    /// Final incremental pressure estimate of the accepted schedule; equals
+    /// the register allocator's per-queue requirements.
+    pub pressure: QueuePressure,
+}
+
+impl std::ops::Deref for ScheduleOutcome {
+    type Target = ScheduleResult;
+
+    fn deref(&self) -> &ScheduleResult {
+        &self.result
+    }
+}
+
+impl std::ops::DerefMut for ScheduleOutcome {
+    fn deref_mut(&mut self) -> &mut ScheduleResult {
+        &mut self.result
+    }
+}
+
+impl ScheduleOutcome {
+    /// Consumes the outcome, returning the plain schedule result.
+    pub fn into_result(self) -> ScheduleResult {
+        self.result
     }
 }
 
 /// Schedules a loop with DMS on the given (usually clustered) machine.
 ///
+/// The II search accepts the first structurally-valid schedule whose queue
+/// register pressure also fits the machine's LRF/CQRF capacities; a schedule
+/// that satisfies every dependence, resource and communication constraint
+/// but would fail register allocation is rejected and the search retries at
+/// II + 1 (counted in [`ScheduleOutcome::pressure_retries`]). Set
+/// [`DmsConfig::pressure`] to [`PressureMode::Ignore`] for the historical
+/// pressure-blind behaviour.
+///
 /// # Errors
 ///
 /// Returns [`ScheduleError::UnexecutableLoop`] if the machine lacks a
 /// required functional-unit class and [`ScheduleError::IiLimitReached`] if no
-/// schedule is found up to the II limit.
+/// schedule both fitting the queue files and satisfying the structural
+/// constraints is found up to the II limit.
 pub fn dms_schedule(
     l: &Loop,
     machine: &MachineConfig,
     config: &DmsConfig,
-) -> Result<ScheduleResult, ScheduleError> {
+) -> Result<ScheduleOutcome, ScheduleError> {
     let mut ddg = l.ddg.clone();
     let apply_single_use = match config.single_use {
         SingleUsePolicy::Always => true,
@@ -79,16 +153,42 @@ pub fn dms_schedule(
     let budget = config.budget_ratio as u64 * ddg.num_live_ops().max(1) as u64;
 
     let mut attempts = 0;
+    let mut first_ii = None;
+    let mut pressure_retries = 0u32;
     for ii in start_ii..=max_ii {
         attempts += 1;
-        if let Some((out_ddg, schedule, mut stats)) =
-            try_dms(&ddg, machine, ii, budget, config.chain_policy)
-        {
-            stats.mii = Some(bounds);
-            stats.copies_inserted = copies;
-            stats.ii_attempts = attempts;
-            return Ok(ScheduleResult { loop_name: l.name.clone(), ddg: out_ddg, schedule, stats });
+        let Some((out_ddg, schedule, mut stats, pressure)) =
+            try_dms(&ddg, machine, ii, budget, config)
+        else {
+            continue;
+        };
+        let first_ii = *first_ii.get_or_insert(ii);
+        // Pressure relaxation: a structurally-valid schedule that overflows
+        // a queue file would fail register allocation — reject it here and
+        // retry one II higher, where every lifetime needs fewer in-flight
+        // instances.
+        if config.pressure == PressureMode::Aware && pressure.capacity_excess(machine).is_some() {
+            pressure_retries += 1;
+            continue;
         }
+        stats.mii = Some(bounds);
+        stats.copies_inserted = copies;
+        stats.ii_attempts = attempts;
+        return Ok(ScheduleOutcome {
+            result: ScheduleResult { loop_name: l.name.clone(), ddg: out_ddg, schedule, stats },
+            first_ii,
+            pressure_retries,
+            pressure,
+        });
+    }
+    if pressure_retries > 0 {
+        // Capacity rejections contributed to exhausting the II range —
+        // surface them so undersized queue files (e.g. an aggressive
+        // --cqrf-capacity) are diagnosable from the error alone.
+        return Err(ScheduleError::PressureLimitReached {
+            limit: max_ii,
+            retries: pressure_retries,
+        });
     }
     Err(ScheduleError::IiLimitReached { limit: max_ii })
 }
@@ -99,9 +199,10 @@ fn try_dms(
     machine: &MachineConfig,
     ii: u32,
     budget: u64,
-    policy: ChainPolicy,
-) -> Option<(Ddg, Schedule, SchedStats)> {
+    config: &DmsConfig,
+) -> Option<(Ddg, Schedule, SchedStats, QueuePressure)> {
     let mut st = SchedulerState::new(ddg.clone(), machine, ii);
+    st.pressure_aware = config.pressure == PressureMode::Aware;
     let mut remaining = budget;
 
     while let Some(op) = st.pop_highest_priority() {
@@ -115,7 +216,7 @@ fn try_dms(
             st.stats.strategy1_placements += 1;
             continue;
         }
-        if place_strategy2(&mut st, op, policy) {
+        if place_strategy2(&mut st, op, config.chain_policy) {
             st.stats.strategy2_placements += 1;
             continue;
         }
@@ -129,14 +230,20 @@ fn try_dms(
 /// The communication-compatible clusters of `op`, ordered by preference:
 /// clusters already hosting scheduled flow neighbours first (the value stays
 /// in the LRF and the partition stays compact), then the least loaded
-/// cluster for the operation's unit class.
+/// cluster for the operation's unit class. In [`PressureMode::Aware`] runs,
+/// remaining ties go to the cluster whose queue files towards the scheduled
+/// neighbours hold the fewest live values, steering traffic away from
+/// saturated CQRFs/LRFs.
 fn preferred_clusters(st: &SchedulerState, op: OpId) -> Vec<ClusterId> {
     let fu = FuKind::for_op(st.ddg.op(op).kind);
     let neighbours = st.scheduled_flow_neighbours(op);
     let mut order = st.communication_compatible_clusters(op);
-    order.sort_by_key(|&c| {
+    // cached: cluster_pressure_cost walks op's edges, so evaluate it once
+    // per cluster rather than once per comparison.
+    order.sort_by_cached_key(|&c| {
         let hosted = neighbours.iter().filter(|&&n| n == c).count();
-        (std::cmp::Reverse(hosted), std::cmp::Reverse(st.mrt.free_slots(c, fu)), c)
+        let pressure = if st.pressure_aware { st.cluster_pressure_cost(op, c) } else { 0 };
+        (std::cmp::Reverse(hosted), std::cmp::Reverse(st.mrt.free_slots(c, fu)), pressure, c)
     });
     order
 }
@@ -236,7 +343,10 @@ fn strategy3_cluster(st: &SchedulerState, op: OpId) -> ClusterId {
     let fu = FuKind::for_op(st.ddg.op(op).kind);
     st.ring()
         .iter()
-        .max_by_key(|&c| (st.mrt.free_slots(c, fu), std::cmp::Reverse(c)))
+        .max_by_key(|&c| {
+            let pressure = if st.pressure_aware { st.cluster_pressure_cost(op, c) } else { 0 };
+            (st.mrt.free_slots(c, fu), std::cmp::Reverse(pressure), std::cmp::Reverse(c))
+        })
         .unwrap_or(ClusterId(0))
 }
 
@@ -247,7 +357,7 @@ mod tests {
     use dms_sched::ims::{ims_schedule, ImsConfig};
     use dms_sched::validate::validate_schedule;
 
-    fn check(l: &dms_ir::Loop, machine: &MachineConfig, config: &DmsConfig) -> ScheduleResult {
+    fn check(l: &dms_ir::Loop, machine: &MachineConfig, config: &DmsConfig) -> ScheduleOutcome {
         let r = dms_schedule(l, machine, config)
             .unwrap_or_else(|e| panic!("{} failed to schedule: {e}", l.name));
         let violations = validate_schedule(&r.ddg, machine, &r.schedule);
@@ -404,6 +514,28 @@ mod tests {
             dms_schedule(&l, &m, &DmsConfig::default()),
             Err(ScheduleError::UnexecutableLoop { fu: FuKind::LoadStore, .. })
         ));
+    }
+
+    #[test]
+    fn exhausting_the_search_on_capacity_rejections_is_reported_distinctly() {
+        // Zero-capacity queue files: every structurally-valid schedule is
+        // rejected by the pressure check, so the search must exhaust the II
+        // range with a PressureLimitReached (carrying the rejection count),
+        // not a bare IiLimitReached — while Ignore mode, which never checks
+        // capacities, schedules the same loop fine.
+        let l = kernels::daxpy(16);
+        let mut m = MachineConfig::paper_clustered(2);
+        m.lrf_capacity = 0;
+        m.cqrf_capacity = 0;
+        let cfg = DmsConfig { max_ii: Some(8), ..DmsConfig::default() };
+        match dms_schedule(&l, &m, &cfg) {
+            Err(ScheduleError::PressureLimitReached { limit: 8, retries }) => {
+                assert!(retries >= 1, "at least one schedule must have been rejected")
+            }
+            other => panic!("expected PressureLimitReached, got {other:?}"),
+        }
+        let blind = DmsConfig { pressure: PressureMode::Ignore, ..cfg };
+        assert!(dms_schedule(&l, &m, &blind).is_ok(), "Ignore mode never checks capacities");
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub mod dms;
 pub mod state;
 
 pub use chains::{ChainPlan, ChainPolicy};
-pub use dms::{dms_schedule, DmsConfig, SingleUsePolicy};
+pub use dms::{dms_schedule, DmsConfig, PressureMode, ScheduleOutcome, SingleUsePolicy};
 pub use state::SchedulerState;

@@ -6,7 +6,8 @@
 //! and the bookkeeping needed for IMS-style backtracking.
 
 use dms_ir::{Ddg, DepEdge, OpId, OpKind, Operation};
-use dms_machine::{ClusterId, FuKind, MachineConfig, Mrt, Ring};
+use dms_machine::{ClusterId, CqrfId, FuKind, MachineConfig, Mrt, Ring};
+use dms_sched::pressure::{edge_lifetime, Lifetime, LifetimeClass, QueuePressure};
 use dms_sched::priority::heights;
 use dms_sched::schedule::{dependence_bound, SchedStats, Schedule};
 
@@ -47,6 +48,18 @@ pub struct SchedulerState {
     pub chains: Vec<Chain>,
     /// Statistics accumulated so far.
     pub stats: SchedStats,
+    /// Incremental queue-register-pressure estimate of the partial schedule.
+    ///
+    /// Kept consistent by every mutation path — [`SchedulerState::place`],
+    /// [`SchedulerState::unschedule`], [`SchedulerState::commit_chain`] and
+    /// chain dismantling — and provably equal to
+    /// [`QueuePressure::of_schedule`] of the final schedule (the register
+    /// allocator's ground truth), a property pinned by the tier-1 suite.
+    pub pressure: QueuePressure,
+    /// Whether pressure steers cluster selection (see
+    /// [`crate::dms::PressureMode`]). The model itself is maintained either
+    /// way.
+    pub pressure_aware: bool,
     ring: Ring,
     ii: u32,
     move_latency: u32,
@@ -67,6 +80,8 @@ impl SchedulerState {
             unscheduled,
             chains: Vec::new(),
             stats: SchedStats::default(),
+            pressure: QueuePressure::new(machine.num_clusters()),
+            pressure_aware: true,
             ring: machine.ring(),
             ii,
             move_latency: machine.latency().mv,
@@ -164,6 +179,117 @@ impl SchedulerState {
             .collect()
     }
 
+    /// The lifetime of a value-carrying edge whose endpoints are both placed
+    /// in the current partial schedule, or `None` otherwise. Shares
+    /// [`edge_lifetime`] with the register allocator, so the incremental
+    /// pressure bookkeeping below accumulates exactly what
+    /// `dms_regalloc::allocate` will later compute.
+    fn edge_pressure(&self, e: &DepEdge) -> Option<Lifetime> {
+        if !e.kind.carries_value() {
+            return None;
+        }
+        let p = self.schedule.get(e.src)?;
+        let c = self.schedule.get(e.dst)?;
+        Some(edge_lifetime(e, p, c, self.ii, &self.ring))
+    }
+
+    /// Walks every value-carrying edge incident to `op` whose other endpoint
+    /// is also scheduled and adds (or removes) its lifetime. Self edges
+    /// appear once (via the successor list). Runs on every placement and
+    /// eviction of the II search, so it borrows the fields disjointly
+    /// instead of allocating an intermediate lifetime list.
+    fn update_pressure_for_op(&mut self, op: OpId, add: bool) {
+        let (ddg, schedule, pressure) = (&self.ddg, &self.schedule, &mut self.pressure);
+        let edges = ddg.succs(op).chain(ddg.preds(op).filter(|(_, e)| e.src != op));
+        for (_, e) in edges {
+            if !e.kind.carries_value() {
+                continue;
+            }
+            let (Some(p), Some(c)) = (schedule.get(e.src), schedule.get(e.dst)) else {
+                continue;
+            };
+            let lt = edge_lifetime(e, p, c, self.ii, &self.ring);
+            if add {
+                pressure.add(&lt);
+            } else {
+                pressure.remove(&lt);
+            }
+        }
+    }
+
+    /// Accounts for `op` entering the schedule: every value edge between
+    /// `op` and an already-scheduled neighbour starts occupying queue
+    /// registers. Must run *after* `op` is placed in `self.schedule`.
+    fn pressure_add_op(&mut self, op: OpId) {
+        self.update_pressure_for_op(op, true);
+    }
+
+    /// Accounts for `op` leaving the schedule. Must run *before* `op` is
+    /// removed from `self.schedule` (the lifetimes are recomputed from the
+    /// still-current placements, which keeps add/remove symmetric).
+    fn pressure_remove_op(&mut self, op: OpId) {
+        self.update_pressure_for_op(op, false);
+    }
+
+    /// Accounts for a value edge appearing between two operations that may
+    /// already be scheduled (chain commit/dismantle rewires edges while the
+    /// endpoints stay placed).
+    fn pressure_add_edge(&mut self, e: &DepEdge) {
+        if let Some(lt) = self.edge_pressure(e) {
+            self.pressure.add(&lt);
+        }
+    }
+
+    /// Accounts for a value edge disappearing between two operations that
+    /// may both still be scheduled.
+    fn pressure_remove_edge(&mut self, e: &DepEdge) {
+        if let Some(lt) = self.edge_pressure(e) {
+            self.pressure.remove(&lt);
+        }
+    }
+
+    /// The queue registers currently occupied by the queue file a value
+    /// would use travelling from `writer` to `reader` (the LRF when they are
+    /// the same cluster), classified by the same [`LifetimeClass::of`]
+    /// mapping the capacity ground truth uses. Indirectly connected clusters
+    /// price as `u32::MAX`: placing the value there would be a communication
+    /// conflict.
+    fn queue_occupancy(&self, writer: ClusterId, reader: ClusterId) -> u32 {
+        match LifetimeClass::of(&self.ring, writer, reader) {
+            LifetimeClass::Local(c) => self.pressure.lrf(c),
+            LifetimeClass::CrossCluster { writer, reader } => {
+                self.pressure.cqrf(CqrfId { writer, reader })
+            }
+            LifetimeClass::Conflict { .. } => u32::MAX,
+        }
+    }
+
+    /// Pressure cost of placing `op` in `cluster`: the summed occupancy of
+    /// the queue files that would carry a value between `op` and each of its
+    /// already-scheduled flow neighbours. Used as a placement tie-breaker so
+    /// DMS steers values away from saturated queues (see
+    /// [`crate::dms::PressureMode`]).
+    pub fn cluster_pressure_cost(&self, op: OpId, cluster: ClusterId) -> u64 {
+        let mut cost = 0u64;
+        for (_, e) in self.ddg.flow_preds(op) {
+            if e.src == op {
+                continue;
+            }
+            if let Some(p) = self.schedule.get(e.src) {
+                cost = cost.saturating_add(self.queue_occupancy(p.cluster, cluster) as u64);
+            }
+        }
+        for (_, e) in self.ddg.flow_succs(op) {
+            if e.dst == op {
+                continue;
+            }
+            if let Some(s) = self.schedule.get(e.dst) {
+                cost = cost.saturating_add(self.queue_occupancy(cluster, s.cluster) as u64);
+            }
+        }
+        cost
+    }
+
     /// Places `op` at `time` in `cluster`, assuming a unit is free.
     ///
     /// # Panics
@@ -171,11 +297,13 @@ impl SchedulerState {
     /// Panics if no unit of the required class is free (callers must evict
     /// first via [`SchedulerState::make_room`]).
     pub fn place(&mut self, op: OpId, time: u32, cluster: ClusterId) {
+        debug_assert!(self.schedule.get(op).is_none(), "place() requires an unscheduled op");
         let fu = FuKind::for_op(self.ddg.op(op).kind);
         self.mrt
             .reserve(op, time, cluster, fu)
             .expect("place() requires a free unit; call make_room() first");
         self.schedule.place(op, time, cluster);
+        self.pressure_add_op(op);
         self.never_scheduled[op.index()] = false;
         self.prev_time[op.index()] = time;
         self.unscheduled.retain(|&o| o != op);
@@ -257,6 +385,7 @@ impl SchedulerState {
     /// clusters, the consumer is unscheduled as well.
     pub fn unschedule(&mut self, op: OpId) {
         if self.schedule.get(op).is_some() {
+            self.pressure_remove_op(op);
             self.mrt.release(op);
             self.schedule.remove(op);
             self.stats.evictions += 1;
@@ -308,6 +437,7 @@ impl SchedulerState {
         // Delete the moves (removes their edges too).
         for m in &chain.moves {
             if self.schedule.get(*m).is_some() {
+                self.pressure_remove_op(*m);
                 self.mrt.release(*m);
                 self.schedule.remove(*m);
             }
@@ -319,6 +449,7 @@ impl SchedulerState {
         // Restore the original producer -> consumer edge.
         if self.ddg.is_live(chain.producer) && self.ddg.is_live(chain.consumer) {
             self.ddg.add_edge(chain.original_edge);
+            self.pressure_add_edge(&chain.original_edge);
         }
         // If both endpoints remain scheduled but are now too far apart, the
         // consumer must be rescheduled.
@@ -344,13 +475,15 @@ impl SchedulerState {
         debug_assert!(!moves.is_empty(), "a chain needs at least one move");
         let producer = edge.src;
         let consumer = edge.dst;
-        // Remove the original edge.
+        // Remove the original edge (it stops occupying queue registers if
+        // both endpoints happen to be scheduled).
         let eid = self
             .ddg
             .live_edges()
             .find(|(_, e)| **e == edge)
             .map(|(id, _)| id)
             .expect("the chained edge must exist");
+        self.pressure_remove_edge(&edge);
         self.ddg.remove_edge(eid);
 
         let mut move_ids = Vec::with_capacity(moves.len());
@@ -368,6 +501,7 @@ impl SchedulerState {
                 .reserve(m, time, cluster, FuKind::Copy)
                 .expect("chain planning verified this Copy slot was free");
             self.schedule.place(m, time, cluster);
+            self.pressure_add_op(m);
             self.never_scheduled[m.index()] = false;
             self.prev_time[m.index()] = time;
             move_ids.push(m);
@@ -381,7 +515,9 @@ impl SchedulerState {
         // distance preserved would shift the value by the distance twice.
         let last = *move_ids.last().expect("at least one move");
         self.ddg.redirect_reads_at(consumer, producer, edge.distance, last, 0);
-        self.ddg.add_edge(DepEdge::flow(last, consumer, self.move_latency, 0));
+        let tail = DepEdge::flow(last, consumer, self.move_latency, 0);
+        self.ddg.add_edge(tail);
+        self.pressure_add_edge(&tail);
 
         // Heights: a move sits just above its consumer in the priority order.
         let consumer_height = self.height[consumer.index()];
@@ -407,9 +543,17 @@ impl SchedulerState {
         self.prev_time.resize(n, 0);
     }
 
-    /// Finalises the attempt, consuming the state.
-    pub fn into_parts(self) -> (Ddg, Schedule, SchedStats) {
-        (self.ddg, self.schedule, self.stats)
+    /// Finalises the attempt, consuming the state. The returned
+    /// [`QueuePressure`] is the incremental estimate, which at this point
+    /// equals the ground truth recomputed from the final schedule (asserted
+    /// in debug builds).
+    pub fn into_parts(self) -> (Ddg, Schedule, SchedStats, QueuePressure) {
+        debug_assert_eq!(
+            self.pressure,
+            QueuePressure::of_schedule(&self.ddg, &self.schedule, &self.ring),
+            "incremental pressure estimate diverged from the schedule's ground truth"
+        );
+        (self.ddg, self.schedule, self.stats, self.pressure)
     }
 }
 

@@ -124,6 +124,9 @@ mod tests {
             strategy2: 0,
             strategy3: 0,
             verified_stores: 0,
+            pressure_retries: 0,
+            first_ii: clustered_ii,
+            max_queue_depth: 0,
         }
     }
 

@@ -1,7 +1,7 @@
 //! Command-line entry point regenerating the paper's figures.
 //!
 //! ```text
-//! dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify]
+//! dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N]
 //! ```
 //!
 //! With no arguments it runs `all` at paper scale (1258 loops, 1–10
@@ -9,7 +9,11 @@
 //! headline claims. With `--verify` every schedule is additionally lowered
 //! through register allocation and code generation, executed on the
 //! clustered-VLIW interpreter and cross-checked against a scalar reference
-//! interpretation of the loop.
+//! interpretation of the loop; any failed task (capacity overflow or store
+//! mismatch) then makes the run exit non-zero, which is what the scheduled
+//! nightly full-grid CI job gates on. `--cqrf-capacity` shrinks the queue
+//! files below the paper's 32 registers to stress the scheduler's
+//! pressure-relaxation (II-retry) path.
 
 use dms_experiments::ablation::{chain_policy_ablation, copy_unit_ablation};
 use dms_experiments::report;
@@ -32,7 +36,7 @@ struct Cli {
     csv_dir: Option<String>,
 }
 
-const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify]";
+const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N]";
 
 fn parse_args() -> Result<Cli, String> {
     let mut command = Command::All;
@@ -66,6 +70,11 @@ fn parse_args() -> Result<Cli, String> {
                     .collect::<Result<Vec<u32>, String>>()?;
             }
             "--verify" => config.verify = true,
+            "--cqrf-capacity" => {
+                let v = args.next().ok_or("--cqrf-capacity needs a value")?;
+                config.cqrf_capacity =
+                    Some(v.parse().map_err(|_| format!("bad --cqrf-capacity value {v}"))?);
+            }
             "--csv" => csv_dir = Some(args.next().ok_or("--csv needs a directory")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -125,11 +134,19 @@ fn main() -> ExitCode {
         stats.schedules_per_second(),
         stats.useful_instances as f64 / 1e6,
     );
+    if stats.pressure_retries > 0 {
+        println!(
+            "pressure: {} schedule(s) exceeded a queue-file capacity and were retried at a \
+             higher II",
+            stats.pressure_retries,
+        );
+    }
     if cli.config.verify {
         println!(
             "verify: executed every schedule through regalloc + codegen on the simulator, \
-             {} store values cross-checked against the scalar reference",
-            stats.stores_verified,
+             {} store values cross-checked against the scalar reference \
+             (peak CQRF occupancy {})",
+            stats.stores_verified, stats.peak_queue_depth,
         );
     }
     if stats.failed > 0 {
@@ -164,6 +181,13 @@ fn main() -> ExitCode {
         if let Some(dir) = &cli.csv_dir {
             write_csv(dir, "figure6.csv", &report::fig6_csv(&rows));
         }
+    }
+    // In verify mode a failed task is a compiler bug (a schedule that could
+    // not be allocated, executed, or whose stores diverged from the scalar
+    // reference): fail the run so scheduled CI sweeps gate on it.
+    if cli.config.verify && stats.failed > 0 {
+        eprintln!("error: {} task(s) failed end-to-end verification", stats.failed);
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -16,12 +16,13 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
     let mut out = String::from(
         "loop_id,set2,clusters,useful_ops,trip_count,unclustered_ii,clustered_ii,\
          unclustered_mii,clustered_mii,unclustered_cycles,clustered_cycles,\
-         copies,moves,strategy2,strategy3,verified_stores\n",
+         copies,moves,strategy2,strategy3,verified_stores,pressure_retries,\
+         first_ii,max_queue_depth\n",
     );
     for m in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             m.loop_id,
             m.set2,
             m.clusters,
@@ -37,7 +38,10 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
             m.moves,
             m.strategy2,
             m.strategy3,
-            m.verified_stores
+            m.verified_stores,
+            m.pressure_retries,
+            m.first_ii,
+            m.max_queue_depth
         );
     }
     out
@@ -289,13 +293,16 @@ mod tests {
             strategy2: 2,
             strategy3: 0,
             verified_stores: 128,
+            pressure_retries: 1,
+            first_ii: 2,
+            max_queue_depth: 4,
         };
         let csv = measurements_csv(&[m]);
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
         assert!(header.starts_with("loop_id,set2,clusters"));
-        assert!(header.ends_with("verified_stores"));
-        assert_eq!(lines.next().unwrap(), "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128");
+        assert!(header.ends_with("pressure_retries,first_ii,max_queue_depth"));
+        assert_eq!(lines.next().unwrap(), "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128,1,2,4");
         assert_eq!(lines.next(), None);
     }
 

@@ -49,6 +49,12 @@ pub struct ExperimentConfig {
     /// (it is dropped from the results and counted in
     /// [`SweepStats::failed`]).
     pub verify: bool,
+    /// Overrides the CQRF capacity of the clustered machine (`None` keeps
+    /// the paper's 32 registers). Tight capacities exercise the DMS
+    /// pressure-relaxation loop: schedules that would overflow a queue file
+    /// are retried at a higher II, visible in
+    /// [`LoopMeasurement::pressure_retries`].
+    pub cqrf_capacity: Option<u32>,
 }
 
 /// Iterations executed per schedule in verify mode. Enough to fill and
@@ -68,6 +74,7 @@ impl ExperimentConfig {
             copy_units: 1,
             dms: DmsConfig::default(),
             verify: false,
+            cqrf_capacity: None,
         }
     }
 
@@ -122,6 +129,18 @@ pub struct LoopMeasurement {
     /// Store values cross-checked against the scalar reference interpreter
     /// (IMS + DMS runs combined). 0 when the sweep ran without `--verify`.
     pub verified_stores: u64,
+    /// Structurally-valid DMS schedules rejected because a queue file
+    /// exceeded its capacity, each answered by a retry at the next II.
+    pub pressure_retries: u32,
+    /// II of the *first* structurally-valid DMS schedule the search found,
+    /// before pressure relaxation. The final (post-retry) II is
+    /// `clustered_ii`; the distance between the two is the II cost of
+    /// fitting the queue files.
+    pub first_ii: u32,
+    /// Largest occupancy any CQRF stream reached while executing the
+    /// schedules (IMS + DMS runs combined). 0 when the sweep ran without
+    /// `--verify` — the streams only exist in the simulator.
+    pub max_queue_depth: u64,
 }
 
 impl LoopMeasurement {
@@ -156,6 +175,12 @@ pub struct SweepStats {
     /// Store values cross-checked against the scalar reference (0 unless the
     /// sweep ran in verify mode).
     pub stores_verified: u64,
+    /// DMS pressure-relaxation retries summed over every completed task.
+    pub pressure_retries: u64,
+    /// Peak CQRF stream occupancy (`QueueFile` high-water mark) observed
+    /// across every executed schedule (0 unless the sweep ran in verify
+    /// mode).
+    pub peak_queue_depth: u64,
 }
 
 impl SweepStats {
@@ -197,11 +222,14 @@ pub fn measure_one(
     clusters: u32,
     config: &ExperimentConfig,
 ) -> Option<LoopMeasurement> {
-    let clustered_machine = if config.copy_units == 1 {
+    let mut clustered_machine = if config.copy_units == 1 {
         MachineConfig::paper_clustered(clusters)
     } else {
         MachineConfig::paper_clustered_with_copy_units(clusters, config.copy_units)
     };
+    if let Some(capacity) = config.cqrf_capacity {
+        clustered_machine = clustered_machine.with_cqrf_capacity(capacity);
+    }
     let unclustered_machine = MachineConfig::unclustered(clusters);
     let body = dms_workloads::unroll_for_machine(
         &suite_loop.body,
@@ -216,11 +244,13 @@ pub fn measure_one(
     // schedules, cross-checked against the scalar reference. A failure is a
     // compiler bug; the task is dropped and counted as failed.
     let mut verified_stores = 0;
+    let mut max_queue_depth = 0;
     if config.verify {
         let trips = body.trip_count.min(VERIFY_TRIP_CAP);
         let i = verify_schedule(&body, &ims, &unclustered_machine, trips).ok()?;
         let d = verify_schedule(&body, &dms, &clustered_machine, trips).ok()?;
         verified_stores = i.stores_checked + d.stores_checked;
+        max_queue_depth = i.max_queue_depth.max(d.max_queue_depth);
     }
 
     Some(LoopMeasurement {
@@ -240,6 +270,9 @@ pub fn measure_one(
         strategy2: dms.stats.strategy2_placements,
         strategy3: dms.stats.strategy3_placements,
         verified_stores,
+        pressure_retries: dms.pressure_retries,
+        first_ii: dms.first_ii,
+        max_queue_depth,
     })
 }
 
@@ -322,6 +355,8 @@ pub fn measure_loops_with_stats(
         wall_seconds,
         useful_instances: results.iter().map(LoopMeasurement::useful_instances).sum(),
         stores_verified: results.iter().map(|m| m.verified_stores).sum(),
+        pressure_retries: results.iter().map(|m| m.pressure_retries as u64).sum(),
+        peak_queue_depth: results.iter().map(|m| m.max_queue_depth).max().unwrap_or(0),
     };
     (results, stats)
 }
@@ -435,6 +470,45 @@ mod tests {
             plain_rows.iter().map(|m| (m.loop_id, m.clusters, m.clustered_ii)).collect::<Vec<_>>(),
             "verification must not perturb the measurements"
         );
+    }
+
+    #[test]
+    fn tight_cqrf_capacity_forces_pressure_retries_and_still_verifies() {
+        // Shrinking the CQRFs below the paper's 32 registers makes several
+        // quick-suite schedules overflow on their first structurally-valid
+        // II; the pressure-relaxation loop must absorb every overflow (the
+        // retried schedules still pass end-to-end verification) and the
+        // retry counts must surface in the rows and the aggregate stats.
+        let mut cfg = ExperimentConfig::quick(24);
+        cfg.cluster_counts = vec![4, 8];
+        cfg.cqrf_capacity = Some(8);
+        cfg.verify = true;
+        let (rows, stats) = measure_suite_with_stats(&cfg);
+        assert_eq!(stats.failed, 0, "every capacity overflow must be absorbed by an II retry");
+        assert!(stats.pressure_retries > 0, "a 8-register CQRF must force retries");
+        assert_eq!(
+            stats.pressure_retries,
+            rows.iter().map(|m| m.pressure_retries as u64).sum::<u64>()
+        );
+        assert!(
+            stats.peak_queue_depth > 0 && stats.peak_queue_depth <= 8,
+            "executed queue occupancy must respect the shrunken capacity, got {}",
+            stats.peak_queue_depth
+        );
+        for m in &rows {
+            if m.pressure_retries > 0 {
+                // Every retry rejected a structurally-valid schedule, so the
+                // accepted II sits strictly above the first one found.
+                assert!(
+                    m.clustered_ii > m.first_ii,
+                    "a retried schedule runs at a relaxed II (first {} vs final {})",
+                    m.first_ii,
+                    m.clustered_ii
+                );
+            } else {
+                assert_eq!(m.first_ii, m.clustered_ii, "no retry, no relaxation");
+            }
+        }
     }
 
     #[test]

@@ -276,7 +276,7 @@ mod tests {
     fn program(clusters: u32) -> (ScheduleResult, MachineConfig, VliwProgram) {
         let l = kernels::fir(8, 256);
         let m = MachineConfig::paper_clustered(clusters);
-        let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap();
+        let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap().into_result();
         let p = emit(&r, &m);
         (r, m, p)
     }

@@ -1,121 +1,12 @@
 //! Loop-variant lifetimes of a modulo-scheduled loop.
+//!
+//! The lifetime math itself lives in [`dms_sched::pressure`] so that the DMS
+//! scheduler's incremental pressure estimate and this crate's allocation pass
+//! are, by construction, the same computation; this module re-exports it
+//! under the allocator's historical path.
 
-use dms_ir::{Ddg, OpId};
-use dms_machine::{ClusterId, Ring};
-use dms_sched::schedule::{Schedule, ScheduleResult};
-use serde::{Deserialize, Serialize};
-
-/// Where a lifetime lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum LifetimeClass {
-    /// Producer and consumer are in the same cluster: the value goes through
-    /// that cluster's LRF.
-    Local(ClusterId),
-    /// Producer and consumer are in adjacent clusters: the value goes through
-    /// the CQRF written by the producer's cluster and read by the consumer's.
-    CrossCluster {
-        /// Cluster that writes the value.
-        writer: ClusterId,
-        /// Cluster that reads the value.
-        reader: ClusterId,
-    },
-    /// Producer and consumer are in indirectly connected clusters — this is a
-    /// communication conflict and indicates an invalid schedule.
-    Conflict {
-        /// Cluster of the producer.
-        writer: ClusterId,
-        /// Cluster of the consumer.
-        reader: ClusterId,
-    },
-}
-
-/// One value-carrying dependence of the scheduled loop, annotated with its
-/// placement-derived properties.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Lifetime {
-    /// Producing operation.
-    pub producer: OpId,
-    /// Consuming operation.
-    pub consumer: OpId,
-    /// Issue time of the producer.
-    pub def_time: u32,
-    /// Effective read time of the consumer (`use_time + II * distance`
-    /// relative to the producer's iteration).
-    pub use_time: u32,
-    /// Length of the lifetime in cycles.
-    pub length: u32,
-    /// Number of instances of this value simultaneously in flight, i.e. the
-    /// queue depth the value stream needs: `ceil(length / II)` but at least 1.
-    pub depth: u32,
-    /// Where the lifetime is allocated.
-    pub class: LifetimeClass,
-}
-
-/// Computes every loop-variant lifetime of a scheduled loop.
-///
-/// Each flow edge of the scheduled DDG yields one lifetime. The length of a
-/// lifetime with producer issued at `t_p`, consumer issued at `t_c` and
-/// iteration distance `d` is `t_c + II * d - t_p` (always non-negative for a
-/// valid schedule; negative values are clamped to zero and will surface as a
-/// schedule violation elsewhere).
-pub fn lifetimes(ddg: &Ddg, schedule: &Schedule, ring: &Ring) -> Vec<Lifetime> {
-    let ii = schedule.ii();
-    let mut out = Vec::new();
-    for (_, e) in ddg.live_edges() {
-        if !e.kind.carries_value() {
-            continue;
-        }
-        let (Some(p), Some(c)) = (schedule.get(e.src), schedule.get(e.dst)) else {
-            continue;
-        };
-        let use_time = c.time + ii * e.distance;
-        let length = use_time.saturating_sub(p.time);
-        let depth = (length.div_ceil(ii)).max(1);
-        let class = if p.cluster == c.cluster {
-            LifetimeClass::Local(p.cluster)
-        } else if ring.directly_connected(p.cluster, c.cluster) {
-            LifetimeClass::CrossCluster { writer: p.cluster, reader: c.cluster }
-        } else {
-            LifetimeClass::Conflict { writer: p.cluster, reader: c.cluster }
-        };
-        out.push(Lifetime {
-            producer: e.src,
-            consumer: e.dst,
-            def_time: p.time,
-            use_time,
-            length,
-            depth,
-            class,
-        });
-    }
-    out
-}
-
-/// Convenience wrapper over [`lifetimes`] for a [`ScheduleResult`].
-pub fn lifetimes_of(result: &ScheduleResult, ring: &Ring) -> Vec<Lifetime> {
-    lifetimes(&result.ddg, &result.schedule, ring)
-}
-
-/// The maximum number of values simultaneously live at any cycle of the
-/// kernel (MaxLive), the classic register-pressure metric the paper cites
-/// from Llosa et al.
-pub fn max_live(lifetimes: &[Lifetime], ii: u32) -> u32 {
-    if lifetimes.is_empty() {
-        return 0;
-    }
-    // A lifetime occupies cycles [def_time, use_time); in the steady-state
-    // kernel it contributes to every row it covers, once per in-flight copy.
-    let mut per_row = vec![0u32; ii as usize];
-    for lt in lifetimes {
-        if lt.length == 0 {
-            continue;
-        }
-        for t in lt.def_time..lt.use_time {
-            per_row[(t % ii) as usize] += 1;
-        }
-    }
-    per_row.into_iter().max().unwrap_or(0)
-}
+pub use dms_sched::pressure::{edge_lifetime, lifetimes, lifetimes_of, max_live};
+pub use dms_sched::{Lifetime, LifetimeClass};
 
 #[cfg(test)]
 mod tests {

@@ -1,8 +1,9 @@
 //! Allocation of lifetimes to queue register files.
 
-use crate::lifetime::{lifetimes, Lifetime, LifetimeClass};
+use crate::lifetime::{lifetimes, max_live, Lifetime, LifetimeClass};
 use dms_machine::{CqrfId, MachineConfig, Ring};
 use dms_sched::schedule::ScheduleResult;
+use dms_sched::QueuePressure;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -80,6 +81,11 @@ impl RegAllocResult {
 /// to the CQRF between the producing and consuming clusters, and aggregates
 /// the per-queue-file register requirements.
 ///
+/// The accumulation and the capacity check both go through
+/// [`dms_sched::QueuePressure`] — the same code the DMS scheduler uses for
+/// its incremental pressure estimate, so the scheduler's capacity-driven
+/// II retries reject exactly the schedules this function would reject.
+///
 /// # Errors
 ///
 /// Returns [`AllocError::CommunicationConflict`] if a lifetime crosses
@@ -91,45 +97,27 @@ pub fn allocate(
 ) -> Result<RegAllocResult, AllocError> {
     let ring: Ring = machine.ring();
     let lts = lifetimes(&result.ddg, &result.schedule, &ring);
-    let mut lrf = vec![0u32; machine.num_clusters() as usize];
-    let mut cqrf: BTreeMap<CqrfId, u32> = BTreeMap::new();
-
-    for lt in &lts {
-        match lt.class {
-            LifetimeClass::Local(c) => {
-                lrf[c.index()] += lt.depth;
-            }
-            LifetimeClass::CrossCluster { writer, reader } => {
-                let id = CqrfId::between(&ring, writer, reader);
-                *cqrf.entry(id).or_insert(0) += lt.depth;
-            }
-            LifetimeClass::Conflict { .. } => {
-                return Err(AllocError::CommunicationConflict { lifetime: *lt });
-            }
-        }
+    if let Some(conflict) = lts.iter().find(|lt| matches!(lt.class, LifetimeClass::Conflict { .. }))
+    {
+        return Err(AllocError::CommunicationConflict { lifetime: *conflict });
     }
 
-    for (c, &req) in lrf.iter().enumerate() {
-        if req > machine.lrf_capacity {
-            return Err(AllocError::CapacityExceeded {
-                queue: format!("LRF of cluster {c}"),
-                required: req,
-                capacity: machine.lrf_capacity,
-            });
-        }
-    }
-    for (id, &req) in &cqrf {
-        if req > machine.cqrf_capacity {
-            return Err(AllocError::CapacityExceeded {
-                queue: id.to_string(),
-                required: req,
-                capacity: machine.cqrf_capacity,
-            });
-        }
+    let pressure = QueuePressure::from_lifetimes(&lts, machine.num_clusters());
+    if let Some(x) = pressure.capacity_excess(machine) {
+        return Err(AllocError::CapacityExceeded {
+            queue: x.queue,
+            required: x.required,
+            capacity: x.capacity,
+        });
     }
 
-    let max_live = crate::lifetime::max_live(&lts, result.ii());
-    Ok(RegAllocResult { lrf_registers: lrf, cqrf_registers: cqrf, max_live, lifetimes: lts })
+    let max_live = max_live(&lts, result.ii());
+    Ok(RegAllocResult {
+        lrf_registers: pressure.lrf_registers().to_vec(),
+        cqrf_registers: pressure.cqrf_registers().clone(),
+        max_live,
+        lifetimes: lts,
+    })
 }
 
 #[cfg(test)]

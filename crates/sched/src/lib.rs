@@ -10,6 +10,8 @@
 //!   dynamic cycle/IPC model used by the paper's figures,
 //! * [`validate`] — an independent checker for dependence, resource and
 //!   communication constraints,
+//! * [`pressure`] — the queue-register lifetime math shared by the register
+//!   allocator (ground truth) and the DMS scheduler (incremental estimate),
 //! * [`ims`] — **Iterative Modulo Scheduling** (Rau), the scheduler used for
 //!   the unclustered baseline machine in the paper's experiments.
 //!
@@ -21,12 +23,14 @@
 
 pub mod ims;
 pub mod mii;
+pub mod pressure;
 pub mod priority;
 pub mod schedule;
 pub mod validate;
 
 pub use ims::{default_max_ii, ims_schedule, ImsConfig};
 pub use mii::{mii, rec_mii, res_mii, MiiBreakdown};
+pub use pressure::{CapacityExcess, Lifetime, LifetimeClass, QueuePressure};
 pub use priority::heights;
 pub use schedule::{
     dependence_bound, earliest_start, SchedStats, Schedule, ScheduleError, ScheduleResult,

@@ -221,6 +221,20 @@ pub enum ScheduleError {
         /// The largest II that was attempted.
         limit: u32,
     },
+    /// The II search exhausted its range without accepting a schedule, and
+    /// at least one structurally-valid schedule along the way was rejected
+    /// because a queue register file exceeded its capacity (pressure-aware
+    /// DMS only; the remaining IIs may have failed either structurally or on
+    /// capacity). Distinct from [`Self::IiLimitReached`] so capacity
+    /// pressure — e.g. a machine whose queue files are smaller than the
+    /// number of values a loop must route through one of them at *any* II —
+    /// is visible in the error itself.
+    PressureLimitReached {
+        /// The largest II that was attempted.
+        limit: u32,
+        /// Structurally-valid schedules rejected for exceeding a capacity.
+        retries: u32,
+    },
     /// The loop demands a functional-unit class of which the machine has
     /// zero units, so no II — however large — can execute it. Replaces the
     /// old `u32::MAX` ResMII sentinel, which silently overflowed the II
@@ -239,6 +253,11 @@ impl fmt::Display for ScheduleError {
             ScheduleError::IiLimitReached { limit } => {
                 write!(f, "no valid schedule found up to II = {limit}")
             }
+            ScheduleError::PressureLimitReached { limit, retries } => write!(
+                f,
+                "no schedule fit the queue register files up to II = {limit} \
+                 ({retries} structurally-valid schedule(s) rejected for exceeding a capacity)"
+            ),
             ScheduleError::UnexecutableLoop { fu, demand } => write!(
                 f,
                 "loop is unexecutable on this machine: {demand} operation(s) demand the {fu} \
@@ -320,6 +339,9 @@ mod tests {
         let e = ScheduleError::UnexecutableLoop { fu: FuKind::LoadStore, demand: 3 };
         assert!(e.to_string().contains("3 operation(s)"));
         assert!(e.to_string().contains("has none"));
+        let e = ScheduleError::PressureLimitReached { limit: 12, retries: 5 };
+        assert!(e.to_string().contains("II = 12"));
+        assert!(e.to_string().contains("5 structurally-valid"));
     }
 
     #[test]

@@ -361,7 +361,8 @@ mod tests {
         let producer = r.ddg.op(store).defs_read().next().unwrap().0;
         let place = r.schedule.get(producer).unwrap();
         // push the producer 10 * II later, violating the dependence
-        r.schedule.place(producer, place.time + 10 * r.ii(), place.cluster);
+        let late = place.time + 10 * r.ii();
+        r.schedule.place(producer, late, place.cluster);
         let outcome = simulate(&r, &m, 8);
         assert!(
             matches!(

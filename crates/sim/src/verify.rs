@@ -38,6 +38,10 @@ pub enum VerifyError {
     /// The structural validator found constraint violations.
     InvalidSchedule(Vec<Violation>),
     /// Register allocation failed (capacity or communication conflict).
+    /// Since DMS became pressure-aware, a `CapacityExceeded` here means the
+    /// scheduler's incremental pressure estimate diverged from the
+    /// allocator — the estimator-equality property test should be failing
+    /// too.
     Allocation(AllocError),
     /// The emitted program could not be executed.
     Execution(SimError),

@@ -1,0 +1,49 @@
+//! The verify stress sweep: every suite loop × every cluster count of the
+//! paper's range, both schedulers, each schedule driven through the whole
+//! back half of the pipeline (register allocation → code generation →
+//! execution on the clustered-VLIW interpreter → bit-comparison of the
+//! stores against a scalar reference of the original loop).
+//!
+//! This is the harness that surfaced the two 8-cluster `CapacityExceeded`
+//! findings fixed by the pressure-aware scheduler (they are pinned in
+//! `tests/endtoend.rs`); it exits non-zero if any task fails, so it doubles
+//! as a local version of the nightly full-grid CI gate.
+//!
+//! Run with (defaults to the 300-loop stress; pass a loop count to change):
+//!
+//! ```text
+//! cargo run --release --example verify_stress [-- <num_loops>]
+//! ```
+
+use dms_experiments::{measure_suite_with_stats, ExperimentConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let num_loops = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("usage: verify_stress [num_loops]"))
+        .unwrap_or(300);
+    let mut config = ExperimentConfig::quick(num_loops);
+    config.verify = true;
+    let (rows, stats) = measure_suite_with_stats(&config);
+    println!(
+        "verified {} of {} (loop, cluster-count) tasks in {:.1} s on {} threads: \
+         {} stores cross-checked, {} pressure retries, peak CQRF occupancy {}",
+        stats.completed,
+        stats.tasks,
+        stats.wall_seconds,
+        stats.threads,
+        stats.stores_verified,
+        stats.pressure_retries,
+        stats.peak_queue_depth,
+    );
+    let retried = rows.iter().filter(|m| m.pressure_retries > 0).count();
+    if retried > 0 {
+        println!("{retried} task(s) needed the pressure-relaxation loop (II raised past MII)");
+    }
+    if stats.failed > 0 {
+        eprintln!("error: {} task(s) failed end-to-end verification", stats.failed);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

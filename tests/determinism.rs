@@ -57,3 +57,37 @@ fn per_core_thread_default_matches_serial_results() {
     assert!(stats.threads >= 1);
     assert_eq!(serial, per_core);
 }
+
+/// The DMS pressure-relaxation (II-retry) path is as deterministic as the
+/// rest of the sweep: with the CQRFs shrunk far enough that several
+/// schedules overflow and retry at a higher II, the measurement CSV —
+/// including the `pressure_retries`, `first_ii` and `max_queue_depth`
+/// columns it now carries — is byte-identical for 1 and 4 worker threads.
+#[test]
+fn pressure_retry_csv_is_byte_identical_for_1_and_4_threads() {
+    let mut serial = ExperimentConfig::quick(24);
+    serial.cluster_counts = vec![4, 8];
+    serial.cqrf_capacity = Some(8);
+    serial.verify = true;
+    serial.threads = 1;
+    let mut parallel = serial.clone();
+    parallel.threads = 4;
+
+    let (a, sa) = measure_suite_with_stats(&serial);
+    let (b, sb) = measure_suite_with_stats(&parallel);
+    assert!(sa.pressure_retries > 0, "the tight capacity must exercise the retry path");
+    assert_eq!(sa.pressure_retries, sb.pressure_retries);
+    assert_eq!(sa.peak_queue_depth, sb.peak_queue_depth);
+    assert_eq!(sa.failed, 0, "every overflow must be absorbed by an II retry");
+    assert_eq!(sb.failed, 0);
+
+    let csv = report::measurements_csv(&a);
+    assert_eq!(
+        csv,
+        report::measurements_csv(&b),
+        "retry-path sweep output must not depend on the worker count"
+    );
+    let header = csv.lines().next().unwrap();
+    assert!(header.ends_with("pressure_retries,first_ii,max_queue_depth"));
+    assert!(a.iter().any(|m| m.pressure_retries > 0));
+}

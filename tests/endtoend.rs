@@ -11,8 +11,9 @@
 //! codegen operand mix-up changes a stored value and fails here.
 
 use dms::verify_schedule;
-use dms_core::{dms_schedule, DmsConfig};
+use dms_core::{dms_schedule, DmsConfig, PressureMode};
 use dms_machine::MachineConfig;
+use dms_regalloc::AllocError;
 use dms_sched::ims::{ims_schedule, ImsConfig};
 use dms_sched::validate_schedule;
 use dms_workloads::{generate, unroll_for_machine, SuiteConfig, UnrollPolicy};
@@ -22,14 +23,17 @@ use dms_workloads::{generate, unroll_for_machine, SuiteConfig, UnrollPolicy};
 const TRIPS: u64 = 48;
 
 /// Every suite loop, scheduled by IMS (on the equivalent unclustered
-/// machine) and by DMS (on the clustered machine) at 1, 2 and 4 clusters,
-/// executes with live-out values bit-equal to the scalar reference.
+/// machine) and by DMS (on the clustered machine) at 1, 2, 4 and 8 clusters,
+/// executes with live-out values bit-equal to the scalar reference. The
+/// 8-cluster column is where register pressure first broke the pipeline
+/// (see `pinned_capacity_findings_*` below), so the gate covers it
+/// explicitly.
 #[test]
 fn suite_schedules_execute_bit_equal_to_the_reference() {
     let suite = generate(&SuiteConfig::small(32));
     let unroll = UnrollPolicy::default();
     for sl in &suite {
-        for clusters in [1u32, 2, 4] {
+        for clusters in [1u32, 2, 4, 8] {
             let clustered = MachineConfig::paper_clustered(clusters);
             let unclustered = MachineConfig::unclustered(clusters);
             let body = unroll_for_machine(&sl.body, clustered.total_useful_fus(), &unroll);
@@ -104,6 +108,59 @@ fn verify_sweep_is_deterministic_across_worker_counts() {
         report::measurements_csv(&b),
         "verify-mode sweep output must not depend on the worker count"
     );
+}
+
+/// PR 2's 300-loop × 1..10-cluster verify stress found exactly two tasks
+/// whose DMS schedules satisfied every structural constraint but could not
+/// be register-allocated on the paper's 32-register CQRFs: suite loops 59
+/// (CQRF\[C0→C7\] needed 47 registers) and 263 (CQRF\[C4→C5\] needed 55),
+/// both on the 8-cluster machine. They are pinned here as deterministic
+/// regression fixtures: the pressure-blind scheduler must still reproduce
+/// the capacity overflow (proving the fixtures test what they claim to
+/// test), and the pressure-aware default must schedule, allocate and
+/// bit-verify them against the scalar reference.
+#[test]
+fn pinned_capacity_findings_schedule_allocate_and_verify_at_8_clusters() {
+    let suite = generate(&SuiteConfig::small(300));
+    let machine = MachineConfig::paper_clustered(8);
+    for &id in &[59usize, 263] {
+        let sl = &suite[id];
+        assert_eq!(sl.id, id);
+        let body =
+            unroll_for_machine(&sl.body, machine.total_useful_fus(), &UnrollPolicy::default());
+        let trips = body.trip_count.min(TRIPS);
+
+        // The historical, pressure-blind behaviour: structurally valid, yet
+        // unallocatable.
+        let blind = DmsConfig { pressure: PressureMode::Ignore, ..DmsConfig::default() };
+        let r = dms_schedule(&body, &machine, &blind)
+            .unwrap_or_else(|e| panic!("loop {id} (blind): {e}"));
+        assert!(
+            validate_schedule(&r.ddg, &machine, &r.schedule).is_empty(),
+            "loop {id}: the finding was a *structurally valid* schedule"
+        );
+        assert_eq!(r.pressure_retries, 0, "Ignore mode never retries");
+        match dms_regalloc::allocate(&r, &machine) {
+            Err(AllocError::CapacityExceeded { required, capacity, .. }) => {
+                assert!(required > capacity, "loop {id}: nonsensical capacity report");
+                assert_eq!(capacity, 32, "loop {id}: the paper's CQRF capacity");
+            }
+            other => panic!(
+                "loop {id}: pressure-blind scheduling must reproduce the CapacityExceeded \
+                 finding, got {other:?}"
+            ),
+        }
+
+        // The pressure-aware default: fits the queue files and bit-verifies.
+        let r = dms_schedule(&body, &machine, &DmsConfig::default())
+            .unwrap_or_else(|e| panic!("loop {id} (aware): {e}"));
+        let alloc = dms_regalloc::allocate(&r, &machine)
+            .unwrap_or_else(|e| panic!("loop {id}: aware schedule must allocate: {e}"));
+        assert!(alloc.max_cqrf() <= machine.cqrf_capacity);
+        let rep = verify_schedule(&body, &r, &machine, trips)
+            .unwrap_or_else(|e| panic!("loop {id}: aware schedule must verify: {e}"));
+        assert!(rep.stores_checked > 0);
+    }
 }
 
 /// A machine lacking a demanded functional-unit class yields a clean

@@ -136,6 +136,44 @@ fn dms_schedules_are_valid_and_execute_correctly() {
     });
 }
 
+/// The incremental queue-pressure estimate maintained by `SchedulerState`
+/// while placing, displacing and chaining operations must equal the register
+/// requirements `dms_regalloc::lifetime` derives from the final schedule —
+/// in particular the estimator may never under-report, or the scheduler's
+/// capacity-driven II retries would accept schedules the allocator rejects.
+/// Checked for every suite loop on every cluster count of the paper's range,
+/// through the same unrolling pipeline the sweep uses.
+#[test]
+fn incremental_pressure_estimate_equals_the_allocators_ground_truth() {
+    use dms_sched::QueuePressure;
+    use dms_workloads::{generate, unroll_for_machine, SuiteConfig, UnrollPolicy};
+    let suite = generate(&SuiteConfig::small(24));
+    let unroll = UnrollPolicy::default();
+    for sl in &suite {
+        for clusters in 1u32..=10 {
+            let machine = MachineConfig::paper_clustered(clusters);
+            let body = unroll_for_machine(&sl.body, machine.total_useful_fus(), &unroll);
+            let r = dms_schedule(&body, &machine, &DmsConfig::default()).unwrap();
+            let ring = machine.ring();
+            let lifetimes = dms_regalloc::lifetime::lifetimes(&r.ddg, &r.schedule, &ring);
+            let truth = QueuePressure::from_lifetimes(&lifetimes, clusters);
+            assert_eq!(
+                r.pressure, truth,
+                "{} on {clusters} clusters: the incremental estimate diverged from the \
+                 lifetimes of the final schedule",
+                body.name
+            );
+            assert_eq!(r.pressure.conflict_depth(), 0, "{}: conflict left behind", body.name);
+            // Equality with the allocator's accepted requirements is the
+            // no-under-reporting guarantee in its strongest form.
+            let alloc = dms_regalloc::allocate(&r, &machine)
+                .unwrap_or_else(|e| panic!("{} on {clusters} clusters: {e}", body.name));
+            assert_eq!(r.pressure.lrf_registers(), alloc.lrf_registers.as_slice());
+            assert_eq!(r.pressure.cqrf_registers(), &alloc.cqrf_registers);
+        }
+    }
+}
+
 #[test]
 fn register_allocation_succeeds_for_every_valid_schedule() {
     run_cases(6, |l| {
