@@ -3,21 +3,25 @@
 //! When an operation cannot be placed in any cluster without a communication
 //! conflict, DMS tries to realise the offending flow dependences with
 //! *chains*: strings of `move` operations, one per intermediate cluster of a
-//! ring path between the predecessor's cluster and the candidate cluster.
-//! Because the ring is bi-directional there are (up to) two possible paths
-//! per predecessor; this module enumerates the feasible combinations and
-//! scores them with the paper's criterion — maximise the Copy-unit slack
-//! left in the most loaded cluster, tie-broken by the smaller number of
-//! moves.
+//! topology path between the predecessor's cluster and the candidate
+//! cluster. The candidate paths come from [`Topology::paths`] — the two
+//! directional walks on the paper's bi-directional ring, every shortest
+//! simple path on a chordal ring, nothing on bus/crossbar machines (where
+//! every pair is directly connected and chains never arise). This module
+//! enumerates the feasible combinations and scores them with the paper's
+//! criterion — maximise the Copy-unit slack left in the most loaded
+//! cluster, tie-broken by the smaller number of moves.
+//!
+//! [`Topology::paths`]: dms_machine::Topology::paths
 
 use crate::state::SchedulerState;
 use dms_ir::{DepEdge, OpId};
-use dms_machine::{ClusterId, Direction, FuKind};
+use dms_machine::{ClusterId, FuKind, TopoPath};
 use dms_sched::schedule::dependence_bound;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// How strategy 2 chooses between the alternative ring directions of a chain.
+/// How strategy 2 chooses between the alternative topology paths of a chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ChainPolicy {
     /// The paper's policy: among the feasible options, pick the one that
@@ -25,7 +29,7 @@ pub enum ChainPolicy {
     /// cluster; if equivalent, pick the option with the fewest moves.
     #[default]
     MaxFreeSlots,
-    /// Ablation: always take the shorter ring path (fewer moves), regardless
+    /// Ablation: always take the shortest path (fewer moves), regardless
     /// of how loaded the Copy units along it are.
     ShortestPath,
 }
@@ -35,13 +39,20 @@ pub enum ChainPolicy {
 pub struct ChainPlan {
     /// The dependence edge the chain will replace.
     pub edge: DepEdge,
-    /// Ring direction of the chain.
-    pub direction: Direction,
     /// The `(cluster, time)` of every move, ordered from the producer
     /// towards the consumer.
     pub moves: Vec<(ClusterId, u32)>,
     /// Lower bound this chain imposes on the consumer's issue time.
     pub consumer_ready: u32,
+    /// Summed occupancy of the queue files the chain's hops traverse
+    /// (producer → first move → … → consumer), priced by the shared
+    /// [`QueuePressure::queue_occupancy`] mapping. Zero when the scheduler
+    /// runs pressure-blind ([`PressureMode::Ignore`]), keeping that mode's
+    /// historical behaviour bit-for-bit.
+    ///
+    /// [`QueuePressure::queue_occupancy`]: dms_sched::QueuePressure::queue_occupancy
+    /// [`PressureMode::Ignore`]: crate::dms::PressureMode::Ignore
+    pub queue_cost: u64,
 }
 
 /// A complete strategy-2 option: a candidate cluster for the operation plus
@@ -57,6 +68,9 @@ pub struct ClusterChainOption {
     pub min_copy_slack: u32,
     /// Total number of moves across all chains.
     pub total_moves: usize,
+    /// Summed [`ChainPlan::queue_cost`] of the chains: how congested the
+    /// queue files this option routes values through already are.
+    pub queue_cost: u64,
     /// Earliest time at which the operation may issue, considering both its
     /// other predecessors and the new chains.
     pub op_ready: u32,
@@ -96,7 +110,7 @@ pub fn plan_for_cluster(
     cluster: ClusterId,
     policy: ChainPolicy,
 ) -> Option<ClusterChainOption> {
-    let ring = *state.ring();
+    let topology = *state.topology();
 
     // Scheduled flow successors must already be directly connected: the paper
     // only builds chains towards predecessors.
@@ -105,7 +119,7 @@ pub fn plan_for_cluster(
             continue;
         }
         if let Some(s) = state.schedule.get(e.dst) {
-            if !ring.directly_connected(cluster, s.cluster) {
+            if !topology.directly_connected(cluster, s.cluster) {
                 return None;
             }
         }
@@ -120,14 +134,14 @@ pub fn plan_for_cluster(
         state.ddg.flow_preds(op).filter(|(_, e)| e.src != op).map(|(_, e)| *e).collect();
     for edge in pred_edges {
         let Some(p) = state.schedule.get(edge.src) else { continue };
-        if ring.directly_connected(p.cluster, cluster) {
+        if topology.directly_connected(p.cluster, cluster) {
             continue;
         }
-        // Try both ring directions and keep the feasible ones.
+        // Try every topology path and keep the feasible ones.
         let mut candidates: Vec<(ChainPlan, Claims)> = Vec::new();
-        for dir in Direction::BOTH {
+        for path in topology.paths(p.cluster, cluster) {
             if let Some((plan, new_claims)) =
-                plan_single_chain(state, &edge, p.time, p.cluster, cluster, dir, &claims)
+                plan_single_chain(state, &edge, p.time, &path, &claims)
             {
                 candidates.push((plan, new_claims));
             }
@@ -135,7 +149,7 @@ pub fn plan_for_cluster(
         if candidates.is_empty() {
             return None;
         }
-        let (plan, new_claims) = select_direction(state, candidates, policy);
+        let (plan, new_claims) = select_chain(state, candidates, policy);
         op_ready = op_ready.max(plan.consumer_ready);
         claims = new_claims;
         chains.push(plan);
@@ -143,7 +157,7 @@ pub fn plan_for_cluster(
 
     // Score: Copy slack of the most loaded cluster after placing the chains.
     let per_cluster = claims.per_cluster();
-    let min_copy_slack = ring
+    let min_copy_slack = topology
         .iter()
         .map(|c| {
             state
@@ -154,17 +168,18 @@ pub fn plan_for_cluster(
         .min()
         .unwrap_or(0);
     let total_moves = chains.iter().map(|c| c.moves.len()).sum();
+    let queue_cost = chains.iter().map(|c| c.queue_cost).sum();
 
-    Some(ClusterChainOption { cluster, chains, min_copy_slack, total_moves, op_ready })
+    Some(ClusterChainOption { cluster, chains, min_copy_slack, total_moves, queue_cost, op_ready })
 }
 
-/// Picks the direction for one chain according to the policy.
-fn select_direction(
+/// Picks the path for one chain according to the policy.
+fn select_chain(
     state: &SchedulerState,
     mut candidates: Vec<(ChainPlan, Claims)>,
     policy: ChainPolicy,
 ) -> (ChainPlan, Claims) {
-    let ring = *state.ring();
+    let topology = *state.topology();
     match policy {
         ChainPolicy::ShortestPath => {
             candidates.sort_by_key(|(p, _)| (p.moves.len(), p.consumer_ready));
@@ -175,7 +190,8 @@ fn select_direction(
             // cluster it would leave behind; larger is better.
             let score = |claims: &Claims| -> u32 {
                 let per_cluster = claims.per_cluster();
-                ring.iter()
+                topology
+                    .iter()
                     .map(|c| {
                         state
                             .mrt
@@ -186,37 +202,47 @@ fn select_direction(
                     .unwrap_or(0)
             };
             candidates.sort_by_key(|(p, claims)| {
-                (std::cmp::Reverse(score(claims)), p.moves.len(), p.consumer_ready)
+                (std::cmp::Reverse(score(claims)), p.moves.len(), p.queue_cost, p.consumer_ready)
             });
             candidates.into_iter().next().expect("at least one candidate")
         }
     }
 }
 
-/// Plans a single chain from `src_cluster` (where the producer issued at
-/// `src_time`) to `dst_cluster`, travelling in `dir`. Returns the plan and
-/// the updated claims, or `None` if some intermediate cluster has no free
-/// Copy slot in the scheduling window.
+/// Plans a single chain along `path` (whose first cluster hosts the
+/// producer, issued at `src_time`). Returns the plan and the updated
+/// claims, or `None` if some intermediate cluster has no free Copy slot in
+/// the scheduling window.
 fn plan_single_chain(
     state: &SchedulerState,
     edge: &DepEdge,
     src_time: u32,
-    src_cluster: ClusterId,
-    dst_cluster: ClusterId,
-    dir: Direction,
+    path: &TopoPath,
     claims: &Claims,
 ) -> Option<(ChainPlan, Claims)> {
-    let ring = *state.ring();
     let ii = state.ii();
     let mv = state.move_latency();
-    let path = ring.path(src_cluster, dst_cluster, dir);
     let intermediates = path.intermediates();
     if intermediates.is_empty() {
-        // Directly connected along this direction: no chain needed. Treated
+        // Directly connected along this path: no chain needed. Treated
         // as infeasible here because the caller only asks for actual chains.
         return None;
     }
     let mut new_claims = claims.clone();
+    // Price the option by how congested the queue files along the path
+    // already are: a chain routed through a near-capacity CQRF is likely to
+    // push the final schedule past the capacity limit (and into an II
+    // retry). Scored only when the II search has already seen a capacity
+    // rejection for this loop (see `SchedulerState::chain_steering`) — on
+    // every other attempt chains are chosen exactly as the paper does.
+    let queue_cost: u64 = if state.chain_steering {
+        path.clusters
+            .windows(2)
+            .map(|w| state.congestion_penalty(w[0], w[1]))
+            .fold(0u64, u64::saturating_add)
+    } else {
+        0
+    };
     // The first move may issue once the producer's value is available:
     // `src_time + latency - II * distance`, computed through the shared
     // i64 bound so a loop-carried edge (distance > 0) whose window starts
@@ -235,7 +261,7 @@ fn plan_single_chain(
         lower = slot.saturating_add(mv).min(window_cap as u32);
     }
     let consumer_ready = lower;
-    Some((ChainPlan { edge: *edge, direction: dir, moves, consumer_ready }, new_claims))
+    Some((ChainPlan { edge: *edge, moves, consumer_ready, queue_cost }, new_claims))
 }
 
 /// Enumerates every viable strategy-2 option for `op` (one per cluster) and
@@ -247,7 +273,7 @@ pub fn best_option(
     policy: ChainPolicy,
 ) -> Option<ClusterChainOption> {
     let mut options: Vec<ClusterChainOption> = state
-        .ring()
+        .topology()
         .iter()
         .filter_map(|c| plan_for_cluster(state, op, c, policy))
         .filter(|o| !o.chains.is_empty())
@@ -257,7 +283,13 @@ pub fn best_option(
     }
     match policy {
         ChainPolicy::MaxFreeSlots => options.sort_by_key(|o| {
-            (std::cmp::Reverse(o.min_copy_slack), o.total_moves, o.op_ready, o.cluster)
+            (
+                std::cmp::Reverse(o.min_copy_slack),
+                o.total_moves,
+                o.op_ready,
+                o.queue_cost,
+                o.cluster,
+            )
         }),
         ChainPolicy::ShortestPath => {
             options.sort_by_key(|o| (o.total_moves, o.op_ready, o.cluster))
@@ -310,16 +342,10 @@ mod tests {
         let mut st = SchedulerState::new(l.ddg.clone(), &machine, 3);
         st.place(OpId(0), 5, ClusterId(0));
         let edge = *st.ddg.flow_succs(OpId(0)).next().unwrap().1;
-        let (plan, _) = plan_single_chain(
-            &st,
-            &edge,
-            5,
-            ClusterId(0),
-            ClusterId(3),
-            Direction::Clockwise,
-            &Claims::default(),
-        )
-        .expect("feasible");
+        // shortest path on the 8-ring from C0 to C3: 0 -> 1 -> 2 -> 3
+        let path = st.topology().paths(ClusterId(0), ClusterId(3)).remove(0);
+        let (plan, _) =
+            plan_single_chain(&st, &edge, 5, &path, &Claims::default()).expect("feasible");
         assert_eq!(plan.moves.len(), 2); // clusters 1 and 2
                                          // first move at or after producer time + load latency (2)
         assert!(plan.moves[0].1 >= 7);
@@ -335,16 +361,8 @@ mod tests {
         let mut st = SchedulerState::new(l.ddg.clone(), &machine, 4);
         st.place(OpId(0), 0, ClusterId(0));
         let edge = *st.ddg.flow_succs(OpId(0)).next().unwrap().1;
-        assert!(plan_single_chain(
-            &st,
-            &edge,
-            0,
-            ClusterId(0),
-            ClusterId(1),
-            Direction::Clockwise,
-            &Claims::default(),
-        )
-        .is_none());
+        let adjacent = TopoPath { clusters: vec![ClusterId(0), ClusterId(1)] };
+        assert!(plan_single_chain(&st, &edge, 0, &adjacent, &Claims::default()).is_none());
     }
 
     #[test]
@@ -383,19 +401,55 @@ mod tests {
         st.place(OpId(0), 0, ClusterId(0));
         let edge = *st.ddg.flow_succs(OpId(0)).next().unwrap().1;
         let carried = DepEdge { distance: 1, ..edge };
-        let (plan, _) = plan_single_chain(
-            &st,
-            &carried,
-            0,
-            ClusterId(0),
-            ClusterId(3),
-            Direction::Clockwise,
-            &Claims::default(),
-        )
-        .expect("a negative-slack window must clamp to 0 and stay feasible");
+        let path = st.topology().paths(ClusterId(0), ClusterId(3)).remove(0);
+        let (plan, _) = plan_single_chain(&st, &carried, 0, &path, &Claims::default())
+            .expect("a negative-slack window must clamp to 0 and stay feasible");
         assert_eq!(plan.moves.len(), 2);
         assert!(plan.moves[0].1 < 4, "the first move must sit inside the clamped [0, II) window");
         assert!(plan.moves[1].1 > plan.moves[0].1);
+    }
+
+    #[test]
+    fn steering_picks_the_uncongested_equal_length_path() {
+        use dms_machine::CqrfId;
+        use dms_sched::pressure::{Lifetime, LifetimeClass};
+        // load -> mul -> store; producer in C0, candidate cluster C3 on a
+        // 6-ring: the two chain paths (via C1,C2 and via C5,C4) tie on
+        // every paper criterion, so the historical choice is the first
+        // enumerated (clockwise) path.
+        let mut b = LoopBuilder::new("steer");
+        let a = b.load(Operand::Induction);
+        let m = b.mul(a.into(), Operand::Invariant(0));
+        b.store(m.into());
+        let l = b.finish(16);
+        let machine = MachineConfig::paper_clustered(6);
+        let mut st = SchedulerState::new(l.ddg.clone(), &machine, 4);
+        st.place(a, 0, ClusterId(0));
+        // Congest the clockwise path's first hop (CQRF[C0->C1]) past half
+        // its capacity.
+        st.pressure.add(&Lifetime {
+            producer: a,
+            consumer: m,
+            def_time: 0,
+            use_time: 80,
+            length: 80,
+            depth: 20,
+            class: LifetimeClass::CrossCluster {
+                queue: CqrfId { writer: ClusterId(0), reader: ClusterId(1) },
+            },
+        });
+        // Without steering the full tie keeps the clockwise enumeration
+        // order — straight through the congested queue.
+        st.chain_steering = false;
+        let plain = plan_for_cluster(&st, m, ClusterId(3), ChainPolicy::MaxFreeSlots).unwrap();
+        assert_eq!(plain.chains[0].moves[0].0, ClusterId(1));
+        // With steering the congestion penalty prices that path out; the
+        // equally short counter-clockwise detour wins.
+        st.chain_steering = true;
+        let steered = plan_for_cluster(&st, m, ClusterId(3), ChainPolicy::MaxFreeSlots).unwrap();
+        assert_eq!(steered.chains[0].moves[0].0, ClusterId(5));
+        assert_eq!(steered.total_moves, plain.total_moves, "the detour is no longer");
+        assert_eq!(steered.queue_cost, 0, "the chosen detour crosses no congested queue");
     }
 
     #[test]

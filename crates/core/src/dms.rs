@@ -56,6 +56,14 @@ pub struct DmsConfig {
     pub single_use: SingleUsePolicy,
     /// Whether scheduling is register-pressure-aware.
     pub pressure: PressureMode,
+    /// An II a closely related configuration (e.g. the neighbouring cluster
+    /// count of a sweep) is known to achieve. The search itself is
+    /// untouched — it still scans every II ascending from the MII, so
+    /// results are seed-independent by construction — but the derived
+    /// search *ceiling* is raised to at least the seed, protecting
+    /// edge-case loops whose default ceiling would sit below an II a
+    /// neighbouring configuration proved reachable.
+    pub ii_seed: Option<u32>,
 }
 
 impl Default for DmsConfig {
@@ -66,6 +74,7 @@ impl Default for DmsConfig {
             chain_policy: ChainPolicy::MaxFreeSlots,
             single_use: SingleUsePolicy::ClusteredOnly,
             pressure: PressureMode::Aware,
+            ii_seed: None,
         }
     }
 }
@@ -149,7 +158,10 @@ pub fn dms_schedule(
 
     let bounds = mii(&ddg, machine)?;
     let start_ii = bounds.mii();
-    let max_ii = config.max_ii.unwrap_or_else(|| default_max_ii(&ddg, machine, start_ii));
+    let max_ii = config
+        .max_ii
+        .unwrap_or_else(|| default_max_ii(&ddg, machine, start_ii))
+        .max(config.ii_seed.unwrap_or(0));
     let budget = config.budget_ratio as u64 * ddg.num_live_ops().max(1) as u64;
 
     let mut attempts = 0;
@@ -157,8 +169,13 @@ pub fn dms_schedule(
     let mut pressure_retries = 0u32;
     for ii in start_ii..=max_ii {
         attempts += 1;
+        // Chains are steered away from congested queue files only once a
+        // capacity rejection has proven that congestion binds for this
+        // loop; until then every attempt follows the paper's criterion
+        // exactly.
+        let steer_chains = pressure_retries > 0;
         let Some((out_ddg, schedule, mut stats, pressure)) =
-            try_dms(&ddg, machine, ii, budget, config)
+            try_dms(&ddg, machine, ii, budget, config, steer_chains)
         else {
             continue;
         };
@@ -200,9 +217,11 @@ fn try_dms(
     ii: u32,
     budget: u64,
     config: &DmsConfig,
+    steer_chains: bool,
 ) -> Option<(Ddg, Schedule, SchedStats, QueuePressure)> {
     let mut st = SchedulerState::new(ddg.clone(), machine, ii);
     st.pressure_aware = config.pressure == PressureMode::Aware;
+    st.chain_steering = st.pressure_aware && steer_chains;
     let mut remaining = budget;
 
     while let Some(op) = st.pop_highest_priority() {
@@ -341,7 +360,7 @@ fn strategy3_cluster(st: &SchedulerState, op: OpId) -> ClusterId {
         return cluster;
     }
     let fu = FuKind::for_op(st.ddg.op(op).kind);
-    st.ring()
+    st.topology()
         .iter()
         .max_by_key(|&c| {
             let pressure = if st.pressure_aware { st.cluster_pressure_cost(op, c) } else { 0 };

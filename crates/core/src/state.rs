@@ -6,8 +6,8 @@
 //! and the bookkeeping needed for IMS-style backtracking.
 
 use dms_ir::{Ddg, DepEdge, OpId, OpKind, Operation};
-use dms_machine::{ClusterId, CqrfId, FuKind, MachineConfig, Mrt, Ring};
-use dms_sched::pressure::{edge_lifetime, Lifetime, LifetimeClass, QueuePressure};
+use dms_machine::{ClusterId, FuKind, MachineConfig, Mrt, Topology};
+use dms_sched::pressure::{edge_lifetime, Lifetime, QueuePressure};
 use dms_sched::priority::heights;
 use dms_sched::schedule::{dependence_bound, SchedStats, Schedule};
 
@@ -60,9 +60,16 @@ pub struct SchedulerState {
     /// [`crate::dms::PressureMode`]). The model itself is maintained either
     /// way.
     pub pressure_aware: bool,
-    ring: Ring,
+    /// Whether strategy-2 chain planning additionally scores candidates by
+    /// the occupancy of the queue files their moves traverse. Enabled by
+    /// the II search only on attempts that follow a capacity rejection —
+    /// when the signal is known to matter — so loops whose queues never
+    /// overflow schedule exactly as the paper's criterion dictates.
+    pub chain_steering: bool,
+    topology: Topology,
     ii: u32,
     move_latency: u32,
+    cqrf_capacity: u32,
 }
 
 impl SchedulerState {
@@ -82,9 +89,11 @@ impl SchedulerState {
             stats: SchedStats::default(),
             pressure: QueuePressure::new(machine.num_clusters()),
             pressure_aware: true,
-            ring: machine.ring(),
+            chain_steering: false,
+            topology: machine.topology(),
             ii,
             move_latency: machine.latency().mv,
+            cqrf_capacity: machine.cqrf_capacity,
             ddg,
         }
     }
@@ -95,10 +104,10 @@ impl SchedulerState {
         self.ii
     }
 
-    /// The ring topology of the target machine.
+    /// The interconnect topology of the target machine.
     #[inline]
-    pub fn ring(&self) -> &Ring {
-        &self.ring
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Latency of a `move` operation on the target machine.
@@ -173,9 +182,9 @@ impl SchedulerState {
     /// communication conflict with its scheduled flow neighbours.
     pub fn communication_compatible_clusters(&self, op: OpId) -> Vec<ClusterId> {
         let neighbours = self.scheduled_flow_neighbours(op);
-        self.ring
+        self.topology
             .iter()
-            .filter(|&c| neighbours.iter().all(|&n| self.ring.directly_connected(c, n)))
+            .filter(|&c| neighbours.iter().all(|&n| self.topology.directly_connected(c, n)))
             .collect()
     }
 
@@ -190,7 +199,7 @@ impl SchedulerState {
         }
         let p = self.schedule.get(e.src)?;
         let c = self.schedule.get(e.dst)?;
-        Some(edge_lifetime(e, p, c, self.ii, &self.ring))
+        Some(edge_lifetime(e, p, c, self.ii, &self.topology))
     }
 
     /// Walks every value-carrying edge incident to `op` whose other endpoint
@@ -208,7 +217,7 @@ impl SchedulerState {
             let (Some(p), Some(c)) = (schedule.get(e.src), schedule.get(e.dst)) else {
                 continue;
             };
-            let lt = edge_lifetime(e, p, c, self.ii, &self.ring);
+            let lt = edge_lifetime(e, p, c, self.ii, &self.topology);
             if add {
                 pressure.add(&lt);
             } else {
@@ -249,19 +258,20 @@ impl SchedulerState {
     }
 
     /// The queue registers currently occupied by the queue file a value
-    /// would use travelling from `writer` to `reader` (the LRF when they are
-    /// the same cluster), classified by the same [`LifetimeClass::of`]
-    /// mapping the capacity ground truth uses. Indirectly connected clusters
-    /// price as `u32::MAX`: placing the value there would be a communication
-    /// conflict.
-    fn queue_occupancy(&self, writer: ClusterId, reader: ClusterId) -> u32 {
-        match LifetimeClass::of(&self.ring, writer, reader) {
-            LifetimeClass::Local(c) => self.pressure.lrf(c),
-            LifetimeClass::CrossCluster { writer, reader } => {
-                self.pressure.cqrf(CqrfId { writer, reader })
-            }
-            LifetimeClass::Conflict { .. } => u32::MAX,
-        }
+    /// would use travelling from `writer` to `reader` — the shared
+    /// [`QueuePressure::queue_occupancy`] pricing, evaluated on this
+    /// machine's topology.
+    pub(crate) fn queue_occupancy(&self, writer: ClusterId, reader: ClusterId) -> u32 {
+        self.pressure.queue_occupancy(&self.topology, writer, reader)
+    }
+
+    /// Congestion penalty of routing one more value from `writer` to
+    /// `reader`: how far the carrying queue file's occupancy stretches
+    /// beyond half its capacity — the regime where further chain traffic
+    /// risks the overflow that forces a capacity II-retry.
+    pub(crate) fn congestion_penalty(&self, writer: ClusterId, reader: ClusterId) -> u64 {
+        let threshold = (self.cqrf_capacity / 2).max(1);
+        self.queue_occupancy(writer, reader).saturating_sub(threshold) as u64
     }
 
     /// Pressure cost of placing `op` in `cluster`: the summed occupancy of
@@ -352,7 +362,7 @@ impl SchedulerState {
                 continue;
             }
             if let Some(p) = self.schedule.get(e.src) {
-                if !self.ring.directly_connected(p.cluster, cluster) {
+                if !self.topology.directly_connected(p.cluster, cluster) {
                     victims.push(e.src);
                 }
             }
@@ -362,7 +372,7 @@ impl SchedulerState {
                 continue;
             }
             if let Some(s) = self.schedule.get(e.dst) {
-                if !self.ring.directly_connected(s.cluster, cluster) {
+                if !self.topology.directly_connected(s.cluster, cluster) {
                     victims.push(e.dst);
                 }
             }
@@ -456,7 +466,7 @@ impl SchedulerState {
         if let (Some(p), Some(c)) =
             (self.schedule.get(chain.producer), self.schedule.get(chain.consumer))
         {
-            if !self.ring.directly_connected(p.cluster, c.cluster) {
+            if !self.topology.directly_connected(p.cluster, c.cluster) {
                 self.unschedule(chain.consumer);
             }
         }
@@ -550,7 +560,7 @@ impl SchedulerState {
     pub fn into_parts(self) -> (Ddg, Schedule, SchedStats, QueuePressure) {
         debug_assert_eq!(
             self.pressure,
-            QueuePressure::of_schedule(&self.ddg, &self.schedule, &self.ring),
+            QueuePressure::of_schedule(&self.ddg, &self.schedule, &self.topology),
             "incremental pressure estimate diverged from the schedule's ground truth"
         );
         (self.ddg, self.schedule, self.stats, self.pressure)

@@ -127,6 +127,7 @@ mod tests {
             pressure_retries: 0,
             first_ii: clustered_ii,
             max_queue_depth: 0,
+            topology: "ring".to_string(),
         }
     }
 

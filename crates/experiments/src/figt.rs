@@ -1,0 +1,159 @@
+//! Figure T — achievable II across interconnect topologies (a beyond-the-
+//! paper experiment enabled by the `Topology` machine-description API).
+//!
+//! The paper fixes the interconnect to a bi-directional ring and shows that
+//! partitioning costs almost nothing up to 8 clusters. This experiment asks
+//! the follow-up question its §5 discussion invites: **how much of that
+//! result is the ring's doing?** The same suite is scheduled at 2, 4 and 8
+//! clusters on four interconnects — the ring, a chordal ring (stride-2
+//! chords), a shared bus (full connectivity, one shared output queue per
+//! cluster) and a crossbar (full connectivity, a queue per directed pair) —
+//! and every schedule is verified end-to-end: register-allocated, lowered
+//! to VLIW code, executed on the machine interpreter and bit-compared
+//! against a scalar reference of its source loop.
+
+use crate::runner::{measure_suite_with_stats, ExperimentConfig, LoopMeasurement, SweepStats};
+use dms_machine::TopologyKind;
+use serde::{Deserialize, Serialize};
+
+/// The interconnects figure T compares.
+pub const FIGT_TOPOLOGIES: [TopologyKind; 4] = [
+    TopologyKind::Ring,
+    TopologyKind::ChordalRing { chord: 2 },
+    TopologyKind::Bus,
+    TopologyKind::Crossbar,
+];
+
+/// The cluster counts figure T evaluates.
+pub const FIGT_CLUSTERS: [u32; 3] = [2, 4, 8];
+
+/// One (topology, cluster count) aggregate of figure T.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigTRow {
+    /// CSV label of the interconnect.
+    pub topology: String,
+    /// Number of clusters.
+    pub clusters: u32,
+    /// Loops measured.
+    pub loops: usize,
+    /// Percentage of loops whose II matches the unclustered ideal.
+    pub percent_no_overhead: f64,
+    /// Mean relative II overhead over the unclustered ideal.
+    pub mean_overhead: f64,
+    /// Mean `move` operations per loop (chains; zero on bus/crossbar where
+    /// every pair is directly connected).
+    pub mean_moves: f64,
+    /// DMS schedules rejected for overflowing a queue file, retried at a
+    /// higher II (the bus pays here: all traffic leaving a cluster shares
+    /// one queue file's registers).
+    pub pressure_retries: u64,
+    /// Store values bit-verified against the scalar reference.
+    pub verified_stores: u64,
+}
+
+/// Aggregates one topology's sweep into per-cluster-count rows.
+fn aggregate(topology: &TopologyKind, rows: &[LoopMeasurement], clusters: &[u32]) -> Vec<FigTRow> {
+    clusters
+        .iter()
+        .map(|&c| {
+            let of_c: Vec<&LoopMeasurement> = rows.iter().filter(|m| m.clusters == c).collect();
+            let n = of_c.len();
+            let no_overhead = of_c.iter().filter(|m| !m.ii_increased()).count();
+            let mean_overhead = if n == 0 {
+                0.0
+            } else {
+                of_c.iter()
+                    .map(|m| m.clustered_ii as f64 / m.unclustered_ii as f64 - 1.0)
+                    .sum::<f64>()
+                    / n as f64
+            };
+            let mean_moves = if n == 0 {
+                0.0
+            } else {
+                of_c.iter().map(|m| m.moves as f64).sum::<f64>() / n as f64
+            };
+            FigTRow {
+                topology: topology.label(),
+                clusters: c,
+                loops: n,
+                percent_no_overhead: if n == 0 {
+                    0.0
+                } else {
+                    100.0 * no_overhead as f64 / n as f64
+                },
+                mean_overhead,
+                mean_moves,
+                pressure_retries: of_c.iter().map(|m| m.pressure_retries as u64).sum(),
+                verified_stores: of_c.iter().map(|m| m.verified_stores).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the figure-T sweep: the configured suite on every
+/// [`FIGT_TOPOLOGIES`] interconnect at the configured cluster counts, with
+/// end-to-end verification forced on. Returns the aggregate rows plus one
+/// [`SweepStats`] per topology (whose `failed` counts gate the CLI exit
+/// code).
+pub fn figure_t(config: &ExperimentConfig) -> (Vec<FigTRow>, Vec<(TopologyKind, SweepStats)>) {
+    let mut rows = Vec::new();
+    let mut stats = Vec::new();
+    for kind in FIGT_TOPOLOGIES {
+        let cfg = ExperimentConfig { topology: kind, verify: true, ..config.clone() };
+        let (measurements, s) = measure_suite_with_stats(&cfg);
+        rows.extend(aggregate(&kind, &measurements, &cfg.cluster_counts));
+        stats.push((kind, s));
+    }
+    (rows, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_t_covers_every_topology_and_cluster_count() {
+        let mut cfg = ExperimentConfig::quick(6);
+        cfg.cluster_counts = FIGT_CLUSTERS.to_vec();
+        let (rows, stats) = figure_t(&cfg);
+        assert_eq!(rows.len(), FIGT_TOPOLOGIES.len() * FIGT_CLUSTERS.len());
+        for (kind, s) in &stats {
+            assert_eq!(s.failed, 0, "{kind}: figure T must verify every schedule");
+            assert!(s.stores_verified > 0, "{kind}: verification is forced on");
+        }
+        for row in &rows {
+            assert_eq!(row.loops, 6);
+            assert!(row.verified_stores > 0, "{}: nothing verified", row.topology);
+        }
+        // bus and crossbar are fully connected: chains can never arise
+        for row in rows.iter().filter(|r| r.topology == "bus" || r.topology == "crossbar") {
+            assert_eq!(row.mean_moves, 0.0, "{}: moves on a fully connected fabric", row.topology);
+        }
+        // the ring rows match a plain ring sweep of the same configuration
+        let ring_cfg = ExperimentConfig {
+            verify: true,
+            ..ExperimentConfig {
+                cluster_counts: FIGT_CLUSTERS.to_vec(),
+                ..ExperimentConfig::quick(6)
+            }
+        };
+        let (ring_rows, _) = crate::runner::measure_suite_with_stats(&ring_cfg);
+        let direct = aggregate(&TopologyKind::Ring, &ring_rows, &ring_cfg.cluster_counts);
+        assert_eq!(&rows[..FIGT_CLUSTERS.len()], &direct[..]);
+    }
+
+    #[test]
+    fn richer_interconnects_never_do_worse_than_the_ring() {
+        // The crossbar relaxes every communication constraint of the ring,
+        // so its per-cluster-count no-overhead fraction can only be equal or
+        // higher on this deterministic suite.
+        let mut cfg = ExperimentConfig::quick(10);
+        cfg.cluster_counts = vec![8];
+        let (rows, _) = figure_t(&cfg);
+        let pct = |label: &str| {
+            rows.iter().find(|r| r.topology == label).map(|r| r.percent_no_overhead).unwrap()
+        };
+        assert!(pct("crossbar") >= pct("ring"), "a crossbar can never lose to the ring");
+        assert!(pct("chordal:2") >= pct("ring"), "chords only add connectivity");
+    }
+}

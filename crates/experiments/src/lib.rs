@@ -11,6 +11,10 @@
 //!   over 3–30 functional units ([`fig5`]);
 //! * **Figure 6** — IPC for the same four series ([`fig6`]).
 //!
+//! [`figt`] adds a beyond-the-paper figure comparing achievable II across
+//! interconnect topologies (ring, chordal ring, bus, crossbar) through the
+//! `dms_machine::Topology` API.
+//!
 //! [`runner`] produces the raw per-loop measurements shared by all figures
 //! (fanning the (loop × cluster-count) grid out across worker threads with
 //! deterministic, worker-count-independent results — see
@@ -26,12 +30,14 @@ pub mod ablation;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod figt;
 pub mod report;
 pub mod runner;
 
 pub use fig4::{figure4, Fig4Row};
 pub use fig5::{figure5, Fig5Row};
 pub use fig6::{figure6, Fig6Row};
+pub use figt::{figure_t, FigTRow, FIGT_CLUSTERS, FIGT_TOPOLOGIES};
 pub use runner::{
     measure_suite, measure_suite_with_stats, ExperimentConfig, LoopMeasurement, SweepStats,
 };

@@ -1,7 +1,7 @@
 //! Command-line entry point regenerating the paper's figures.
 //!
 //! ```text
-//! dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N]
+//! dms-experiments [fig4|fig5|fig6|figT|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar]
 //! ```
 //!
 //! With no arguments it runs `all` at paper scale (1258 loops, 1–10
@@ -13,11 +13,17 @@
 //! mismatch) then makes the run exit non-zero, which is what the scheduled
 //! nightly full-grid CI job gates on. `--cqrf-capacity` shrinks the queue
 //! files below the paper's 32 registers to stress the scheduler's
-//! pressure-relaxation (II-retry) path.
+//! pressure-relaxation (II-retry) path. `--topology` swaps the clustered
+//! machine's interconnect (the paper's ring by default) for a chordal ring,
+//! a shared bus or a crossbar; `figT` sweeps all four at 2/4/8 clusters
+//! with verification forced on and compares the achievable II.
 
 use dms_experiments::ablation::{chain_policy_ablation, copy_unit_ablation};
 use dms_experiments::report;
-use dms_experiments::{figure4, figure5, figure6, measure_suite_with_stats, ExperimentConfig};
+use dms_experiments::{
+    figure4, figure5, figure6, figure_t, measure_suite_with_stats, ExperimentConfig, FIGT_CLUSTERS,
+};
+use dms_machine::TopologyKind;
 use std::process::ExitCode;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +31,7 @@ enum Command {
     Fig4,
     Fig5,
     Fig6,
+    FigT,
     Ablation,
     All,
 }
@@ -36,18 +43,21 @@ struct Cli {
     csv_dir: Option<String>,
 }
 
-const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N]";
+const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|figT|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar]";
 
 fn parse_args() -> Result<Cli, String> {
     let mut command = Command::All;
     let mut config = ExperimentConfig::paper();
     let mut csv_dir = None;
+    let mut clusters_given = false;
+    let mut topology_given = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "fig4" => command = Command::Fig4,
             "fig5" => command = Command::Fig5,
             "fig6" => command = Command::Fig6,
+            "figT" | "figt" => command = Command::FigT,
             "ablation" => command = Command::Ablation,
             "all" => command = Command::All,
             "--loops" => {
@@ -68,6 +78,12 @@ fn parse_args() -> Result<Cli, String> {
                     .split(',')
                     .map(|x| x.trim().parse().map_err(|_| format!("bad cluster count {x}")))
                     .collect::<Result<Vec<u32>, String>>()?;
+                clusters_given = true;
+            }
+            "--topology" => {
+                let v = args.next().ok_or("--topology needs a value")?;
+                config.topology = TopologyKind::parse(&v)?;
+                topology_given = true;
             }
             "--verify" => config.verify = true,
             "--cqrf-capacity" => {
@@ -81,6 +97,17 @@ fn parse_args() -> Result<Cli, String> {
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    // Figure T compares topologies at the paper's 2/4/8-cluster points
+    // unless the user picked an explicit grid — and always sweeps all four
+    // interconnects, so a --topology override would be silently ignored.
+    if command == Command::FigT {
+        if topology_given {
+            return Err("figT sweeps every topology; --topology does not apply".to_string());
+        }
+        if !clusters_given {
+            config.cluster_counts = FIGT_CLUSTERS.to_vec();
         }
     }
     Ok(Cli { command, config, csv_dir })
@@ -105,9 +132,35 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "DMS reproduction — {} loops, clusters {:?}, seed {}",
-        cli.config.suite.num_loops, cli.config.cluster_counts, cli.config.suite.seed
+        "DMS reproduction — {} loops, clusters {:?}, seed {}, topology {}",
+        cli.config.suite.num_loops,
+        cli.config.cluster_counts,
+        cli.config.suite.seed,
+        cli.config.topology
     );
+
+    if cli.command == Command::FigT {
+        let (rows, stats) = figure_t(&cli.config);
+        for (kind, s) in &stats {
+            println!(
+                "{kind}: swept {} tasks on {} thread(s) in {:.2} s — {} store values verified, \
+                 {} pressure retries, {} failed",
+                s.tasks, s.threads, s.wall_seconds, s.stores_verified, s.pressure_retries, s.failed
+            );
+        }
+        println!();
+        println!("{}", report::render_figt(&rows));
+        if let Some(dir) = &cli.csv_dir {
+            write_csv(dir, "figureT.csv", &report::figt_csv(&rows));
+        }
+        // Figure T always verifies: any failed task is a compiler bug.
+        let failed: usize = stats.iter().map(|(_, s)| s.failed).sum();
+        if failed > 0 {
+            eprintln!("error: {failed} task(s) failed end-to-end verification");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if cli.command == Command::Ablation {
         let mut cfg = cli.config.clone();

@@ -4,6 +4,7 @@ use crate::ablation::AblationResult;
 use crate::fig4::{claim_no_overhead_up_to_8_clusters, Fig4Row};
 use crate::fig5::Fig5Row;
 use crate::fig6::{claim_ipc_trends, Fig6Row};
+use crate::figt::FigTRow;
 use crate::runner::LoopMeasurement;
 use std::fmt::Write as _;
 
@@ -17,12 +18,12 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
         "loop_id,set2,clusters,useful_ops,trip_count,unclustered_ii,clustered_ii,\
          unclustered_mii,clustered_mii,unclustered_cycles,clustered_cycles,\
          copies,moves,strategy2,strategy3,verified_stores,pressure_retries,\
-         first_ii,max_queue_depth\n",
+         first_ii,max_queue_depth,topology\n",
     );
     for m in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             m.loop_id,
             m.set2,
             m.clusters,
@@ -41,7 +42,8 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
             m.verified_stores,
             m.pressure_retries,
             m.first_ii,
-            m.max_queue_depth
+            m.max_queue_depth,
+            m.topology
         );
     }
     out
@@ -150,6 +152,62 @@ pub fn render_fig6(rows: &[Fig6Row]) -> String {
             out,
             "claim check [paper: Set 2 keeps improving across the whole range]: {}",
             if improves { "HOLDS" } else { "DOES NOT HOLD" }
+        );
+    }
+    out
+}
+
+/// Renders figure T as an aligned text table.
+pub fn render_figt(rows: &[FigTRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure T — achievable II across interconnect topologies (verified)");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>6} {:>14} {:>13} {:>11} {:>13} {:>15}",
+        "topology",
+        "clusters",
+        "loops",
+        "no overhead(%)",
+        "mean ovhd(%)",
+        "moves/loop",
+        "II retries",
+        "verified stores"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>6} {:>14.1} {:>13.1} {:>11.2} {:>13} {:>15}",
+            r.topology,
+            r.clusters,
+            r.loops,
+            r.percent_no_overhead,
+            100.0 * r.mean_overhead,
+            r.mean_moves,
+            r.pressure_retries,
+            r.verified_stores
+        );
+    }
+    out
+}
+
+/// Figure T as CSV.
+pub fn figt_csv(rows: &[FigTRow]) -> String {
+    let mut out = String::from(
+        "topology,clusters,loops,percent_no_overhead,mean_overhead,mean_moves,\
+         pressure_retries,verified_stores\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.4},{:.6},{:.4},{},{}",
+            r.topology,
+            r.clusters,
+            r.loops,
+            r.percent_no_overhead,
+            r.mean_overhead,
+            r.mean_moves,
+            r.pressure_retries,
+            r.verified_stores
         );
     }
     out
@@ -296,13 +354,14 @@ mod tests {
             pressure_retries: 1,
             first_ii: 2,
             max_queue_depth: 4,
+            topology: "ring".to_string(),
         };
         let csv = measurements_csv(&[m]);
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
         assert!(header.starts_with("loop_id,set2,clusters"));
-        assert!(header.ends_with("pressure_retries,first_ii,max_queue_depth"));
-        assert_eq!(lines.next().unwrap(), "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128,1,2,4");
+        assert!(header.ends_with("pressure_retries,first_ii,max_queue_depth,topology"));
+        assert_eq!(lines.next().unwrap(), "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128,1,2,4,ring");
         assert_eq!(lines.next(), None);
     }
 

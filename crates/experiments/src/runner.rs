@@ -3,20 +3,32 @@
 //!
 //! The paper-scale sweep is a grid of (loop × cluster-count) tasks — 1258
 //! loops × 10 cluster counts, each scheduled twice (IMS on the unclustered
-//! machine and DMS on the clustered one). Task cost varies by an order of
+//! machine and DMS on the clustered one). Work cost varies by an order of
 //! magnitude with body size and cluster count, so a static chunking of the
 //! suite leaves workers idle behind the unlucky chunk. [`measure_loops`]
 //! instead runs a work-stealing executor: every worker claims small batches
-//! of task indices from a shared lock-free cursor, so fast workers steal the
-//! tail of the grid from slow ones automatically.
+//! of *loop* indices from a shared lock-free cursor, so fast workers steal
+//! the tail of the suite from slow ones automatically.
 //!
-//! Results are written into a pre-allocated slot per task index, which makes
-//! the output **deterministic by construction**: the returned vector is
+//! The unit of work is one **loop**, not one grid cell: a worker measures
+//! its loop at every cluster count in configuration order, which lets it
+//! (a) unroll the body once per distinct unroll factor instead of once per
+//! cluster count, and (b) seed each DMS II search with the II the previous
+//! cluster count achieved. The seed never narrows or re-orders the
+//! ascending II scan — it only widens the derived search *ceiling* (see
+//! `DmsConfig::ii_seed`) — so every row both paths produce is identical;
+//! the only possible divergence is a rescued task whose unseeded default
+//! ceiling sat below an II the neighbouring count proved reachable. A
+//! regression test pins the swept CSV byte-for-byte against the uncached,
+//! unseeded per-cell path.
+//!
+//! Results are written into a pre-allocated slot per loop, which makes the
+//! output **deterministic by construction**: the returned vector is
 //! identical — contents *and* order — for `threads = 1` and `threads = N`,
 //! and carries no trace of scheduling noise into the figures or CSV files.
 
 use dms_core::{dms_schedule, DmsConfig};
-use dms_machine::MachineConfig;
+use dms_machine::{MachineConfig, TopologyKind};
 use dms_sched::ims::{ims_schedule, ImsConfig};
 use dms_sim::verify_schedule;
 use dms_workloads::{generate, SuiteConfig, SuiteLoop, UnrollPolicy};
@@ -55,6 +67,10 @@ pub struct ExperimentConfig {
     /// are retried at a higher II, visible in
     /// [`LoopMeasurement::pressure_retries`].
     pub cqrf_capacity: Option<u32>,
+    /// Interconnect topology of the clustered machine (the paper's ring by
+    /// default). The unclustered reference machine has a single cluster and
+    /// is unaffected.
+    pub topology: TopologyKind,
 }
 
 /// Iterations executed per schedule in verify mode. Enough to fill and
@@ -75,6 +91,7 @@ impl ExperimentConfig {
             dms: DmsConfig::default(),
             verify: false,
             cqrf_capacity: None,
+            topology: TopologyKind::Ring,
         }
     }
 
@@ -92,7 +109,7 @@ impl Default for ExperimentConfig {
 
 /// One loop scheduled on one cluster count, on both the clustered machine
 /// (DMS) and the equivalent unclustered machine (IMS).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoopMeasurement {
     /// Suite index of the loop.
     pub loop_id: usize,
@@ -141,6 +158,8 @@ pub struct LoopMeasurement {
     /// schedules (IMS + DMS runs combined). 0 when the sweep ran without
     /// `--verify` — the streams only exist in the simulator.
     pub max_queue_depth: u64,
+    /// CSV label of the clustered machine's interconnect topology.
+    pub topology: String,
 }
 
 impl LoopMeasurement {
@@ -214,31 +233,57 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// The clustered machine of one sweep cell.
+fn clustered_machine(clusters: u32, config: &ExperimentConfig) -> MachineConfig {
+    let mut machine = if config.copy_units == 1 {
+        MachineConfig::paper_clustered(clusters)
+    } else {
+        MachineConfig::paper_clustered_with_copy_units(clusters, config.copy_units)
+    }
+    .with_topology(config.topology);
+    if let Some(capacity) = config.cqrf_capacity {
+        machine = machine.with_cqrf_capacity(capacity);
+    }
+    machine
+}
+
 /// Schedules one suite loop for one cluster count and returns the
 /// measurement, or `None` if either scheduler failed (which indicates a bug;
 /// callers treat it as fatal in tests and skip it in production sweeps).
+///
+/// This is the plain per-cell path: it unrolls the body itself and seeds
+/// nothing. The sweep executor goes through `measure_loop` instead, which
+/// reuses unrolled bodies across cluster counts and threads the previous
+/// count's achieved II into `DmsConfig::ii_seed`; a regression test pins
+/// both paths to byte-identical CSV.
 pub fn measure_one(
     suite_loop: &SuiteLoop,
     clusters: u32,
     config: &ExperimentConfig,
 ) -> Option<LoopMeasurement> {
-    let mut clustered_machine = if config.copy_units == 1 {
-        MachineConfig::paper_clustered(clusters)
-    } else {
-        MachineConfig::paper_clustered_with_copy_units(clusters, config.copy_units)
-    };
-    if let Some(capacity) = config.cqrf_capacity {
-        clustered_machine = clustered_machine.with_cqrf_capacity(capacity);
-    }
-    let unclustered_machine = MachineConfig::unclustered(clusters);
+    let machine = clustered_machine(clusters, config);
     let body = dms_workloads::unroll_for_machine(
         &suite_loop.body,
-        clustered_machine.total_useful_fus(),
+        machine.total_useful_fus(),
         &config.unroll,
     );
+    measure_body(suite_loop, &body, clusters, config, None)
+}
 
-    let ims = ims_schedule(&body, &unclustered_machine, &ImsConfig::default()).ok()?;
-    let dms = dms_schedule(&body, &clustered_machine, &config.dms).ok()?;
+/// Measures one already-unrolled body on one cluster count.
+fn measure_body(
+    suite_loop: &SuiteLoop,
+    body: &dms_ir::Loop,
+    clusters: u32,
+    config: &ExperimentConfig,
+    ii_seed: Option<u32>,
+) -> Option<LoopMeasurement> {
+    let clustered_machine = clustered_machine(clusters, config);
+    let unclustered_machine = MachineConfig::unclustered(clusters);
+
+    let ims = ims_schedule(body, &unclustered_machine, &ImsConfig::default()).ok()?;
+    let dms_cfg = DmsConfig { ii_seed, ..config.dms };
+    let dms = dms_schedule(body, &clustered_machine, &dms_cfg).ok()?;
 
     // End-to-end verification: regalloc + codegen + execution of both
     // schedules, cross-checked against the scalar reference. A failure is a
@@ -247,8 +292,8 @@ pub fn measure_one(
     let mut max_queue_depth = 0;
     if config.verify {
         let trips = body.trip_count.min(VERIFY_TRIP_CAP);
-        let i = verify_schedule(&body, &ims, &unclustered_machine, trips).ok()?;
-        let d = verify_schedule(&body, &dms, &clustered_machine, trips).ok()?;
+        let i = verify_schedule(body, &ims, &unclustered_machine, trips).ok()?;
+        let d = verify_schedule(body, &dms, &clustered_machine, trips).ok()?;
         verified_stores = i.stores_checked + d.stores_checked;
         max_queue_depth = i.max_queue_depth.max(d.max_queue_depth);
     }
@@ -273,6 +318,7 @@ pub fn measure_one(
         pressure_retries: dms.pressure_retries,
         first_ii: dms.first_ii,
         max_queue_depth,
+        topology: config.topology.label(),
     })
 }
 
@@ -294,13 +340,47 @@ pub fn measure_loops(suite: &[SuiteLoop], config: &ExperimentConfig) -> Vec<Loop
     measure_loops_with_stats(suite, config).0
 }
 
+/// Measures one suite loop at every configured cluster count, in
+/// configuration order. The unrolled body is computed once per *distinct*
+/// unroll factor (neighbouring cluster counts frequently share one), and
+/// each DMS search is seeded with the previous count's achieved II.
+fn measure_loop(suite_loop: &SuiteLoop, config: &ExperimentConfig) -> Vec<Option<LoopMeasurement>> {
+    let mut bodies: Vec<(u32, dms_ir::Loop)> = Vec::new();
+    let mut seed = None;
+    config
+        .cluster_counts
+        .iter()
+        .map(|&clusters| {
+            let useful_fus = clustered_machine(clusters, config).total_useful_fus();
+            let factor = config.unroll.factor(suite_loop.body.useful_ops(), useful_fus);
+            let body = match bodies.iter().find(|(f, _)| *f == factor) {
+                Some((_, body)) => body,
+                None => {
+                    let body = dms_workloads::unroll_for_machine(
+                        &suite_loop.body,
+                        useful_fus,
+                        &config.unroll,
+                    );
+                    bodies.push((factor, body));
+                    &bodies.last().expect("just pushed").1
+                }
+            };
+            let m = measure_body(suite_loop, body, clusters, config, seed);
+            if let Some(measurement) = &m {
+                seed = Some(measurement.clustered_ii);
+            }
+            m
+        })
+        .collect()
+}
+
 /// The sweep executor.
 ///
-/// The (loop × cluster-count) grid is flattened loop-major into task indices
-/// `0..n`; workers claim batches of indices from a shared atomic cursor
-/// (work stealing: nobody owns a range up front, so load imbalance between
-/// small and large loop bodies evens out) and write each result into its
-/// task's dedicated slot. Rows come back loop-major, cluster counts in
+/// Workers claim batches of loop indices from a shared atomic cursor (work
+/// stealing: nobody owns a range up front, so load imbalance between small
+/// and large loop bodies evens out) and write each loop's measurements —
+/// all its cluster counts, produced by `measure_loop` — into the loop’s
+/// dedicated slot. Rows come back loop-major, cluster counts in
 /// configuration order, bit-identical for any worker count.
 pub fn measure_loops_with_stats(
     suite: &[SuiteLoop],
@@ -308,26 +388,24 @@ pub fn measure_loops_with_stats(
 ) -> (Vec<LoopMeasurement>, SweepStats) {
     let per_loop = config.cluster_counts.len();
     let tasks = suite.len() * per_loop;
-    let threads = resolve_threads(config.threads).min(tasks.max(1));
+    let threads = resolve_threads(config.threads).min(suite.len().max(1));
     let started = Instant::now();
 
-    let slots: Vec<OnceLock<Option<LoopMeasurement>>> =
-        (0..tasks).map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<Vec<Option<LoopMeasurement>>>> =
+        (0..suite.len()).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
     // Small batches amortise cursor contention without recreating the tail
     // imbalance of static chunking.
-    let batch = (tasks / (threads * 16)).clamp(1, 32);
+    let batch = (suite.len() / (threads * 16)).clamp(1, 32);
 
     let run_worker = || loop {
         let start = cursor.fetch_add(batch, Ordering::Relaxed);
-        if start >= tasks {
+        if start >= suite.len() {
             break;
         }
-        for task in start..(start + batch).min(tasks) {
-            let suite_loop = &suite[task / per_loop];
-            let clusters = config.cluster_counts[task % per_loop];
-            let result = measure_one(suite_loop, clusters, config);
-            slots[task].set(result).expect("task claimed twice");
+        for index in start..(start + batch).min(suite.len()) {
+            let result = measure_loop(&suite[index], config);
+            slots[index].set(result).expect("loop claimed twice");
         }
     };
 
@@ -345,7 +423,8 @@ pub fn measure_loops_with_stats(
     let wall_seconds = started.elapsed().as_secs_f64();
     let results: Vec<LoopMeasurement> = slots
         .into_iter()
-        .filter_map(|slot| slot.into_inner().expect("work-stealing cursor missed a task"))
+        .flat_map(|slot| slot.into_inner().expect("work-stealing cursor missed a loop"))
+        .flatten()
         .collect();
     let stats = SweepStats {
         tasks,
@@ -509,6 +588,50 @@ mod tests {
                 assert_eq!(m.first_ii, m.clustered_ii, "no retry, no relaxation");
             }
         }
+    }
+
+    #[test]
+    fn cached_and_seeded_sweep_matches_the_per_cell_path_byte_for_byte() {
+        // The executor reuses unrolled bodies across cluster counts and
+        // seeds each DMS search with the previous count's achieved II. The
+        // seed can only widen the II-search ceiling (it never narrows or
+        // re-orders the scan), so on a healthy grid — no task near the
+        // default ceiling — the CSV must match the uncached, unseeded
+        // per-cell measurement byte for byte.
+        let mut cfg = ExperimentConfig::quick(16);
+        cfg.cluster_counts = vec![1, 2, 4, 8, 10];
+        let suite = generate(&cfg.suite);
+        let (swept, stats) = measure_loops_with_stats(&suite, &cfg);
+        assert_eq!(stats.failed, 0);
+        let reference: Vec<LoopMeasurement> = suite
+            .iter()
+            .flat_map(|sl| cfg.cluster_counts.iter().filter_map(|&c| measure_one(sl, c, &cfg)))
+            .collect();
+        assert_eq!(
+            crate::report::measurements_csv(&swept),
+            crate::report::measurements_csv(&reference),
+            "body caching and II seeding must not change any measurement"
+        );
+    }
+
+    #[test]
+    fn pressure_steered_chains_do_not_increase_ii_retries() {
+        // Chain planning scores strategy-2 candidates by the congestion of
+        // the queue files their moves traverse — but only on II attempts
+        // that follow a capacity rejection, so retry counts can only move
+        // down. Pinned against the pre-steering scheduler on this exact
+        // grid (6 retries); the full nightly grid's 11 are gated the same
+        // way in nightly.yml.
+        let mut cfg = ExperimentConfig::quick(24);
+        cfg.cluster_counts = vec![4, 8];
+        cfg.cqrf_capacity = Some(8);
+        let (_, stats) = measure_suite_with_stats(&cfg);
+        assert!(stats.pressure_retries > 0, "the tight grid must exercise the retry path");
+        assert!(
+            stats.pressure_retries <= 6,
+            "chain steering must not increase II retries (pinned pre-steering count 6, got {})",
+            stats.pressure_retries
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Machine configurations: clusters, functional-unit counts and latencies.
 
 use crate::fu::FuKind;
-use crate::topology::{ClusterId, Ring};
+use crate::topology::{ClusterId, Topology, TopologyKind};
 use dms_ir::{LatencySpec, OpKind};
 use serde::{Deserialize, Serialize};
 
@@ -75,6 +75,9 @@ impl Default for ClusterFus {
 pub struct MachineConfig {
     clusters: Vec<ClusterFus>,
     latency: LatencySpec,
+    /// The interconnect family connecting the clusters (the paper's
+    /// bi-directional ring by default).
+    pub topology_kind: TopologyKind,
     /// Capacity (in values) of each CQRF FIFO queue.
     pub cqrf_capacity: u32,
     /// Capacity (in values) of each LRF queue.
@@ -98,6 +101,7 @@ impl MachineConfig {
         MachineConfig {
             clusters: vec![fus; clusters as usize],
             latency,
+            topology_kind: TopologyKind::Ring,
             cqrf_capacity: Self::DEFAULT_CQRF_CAPACITY,
             lrf_capacity: Self::DEFAULT_LRF_CAPACITY,
         }
@@ -147,6 +151,12 @@ impl MachineConfig {
         self
     }
 
+    /// Replaces the interconnect family (the cluster count stays as is).
+    pub fn with_topology(mut self, kind: TopologyKind) -> Self {
+        self.topology_kind = kind;
+        self
+    }
+
     /// The operation latency model of this machine.
     #[inline]
     pub fn latency(&self) -> &LatencySpec {
@@ -172,10 +182,10 @@ impl MachineConfig {
         self.clusters.len() > 1
     }
 
-    /// The ring topology connecting the clusters.
+    /// The interconnect topology connecting the clusters.
     #[inline]
-    pub fn ring(&self) -> Ring {
-        Ring::new(self.num_clusters())
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.topology_kind, self.num_clusters())
     }
 
     /// Functional-unit mix of one cluster.
@@ -272,6 +282,19 @@ mod tests {
     #[should_panic(expected = "at least one cluster")]
     fn zero_cluster_machine_panics() {
         let _ = MachineConfig::paper_clustered(0);
+    }
+
+    #[test]
+    fn topology_override_reaches_the_machine_topology() {
+        let m = MachineConfig::paper_clustered(6).with_topology(TopologyKind::Bus);
+        assert_eq!(m.topology_kind, TopologyKind::Bus);
+        assert!(m.topology().directly_connected(ClusterId(0), ClusterId(3)));
+        assert_eq!(m.topology().queue_files().len(), 6);
+        // the default stays the paper's ring
+        let r = MachineConfig::paper_clustered(6);
+        assert_eq!(r.topology_kind, TopologyKind::Ring);
+        assert!(!r.topology().directly_connected(ClusterId(0), ClusterId(3)));
+        assert_eq!(r.topology().queue_files().len(), 12);
     }
 
     #[test]

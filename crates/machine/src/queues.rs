@@ -1,69 +1,49 @@
 //! Queue register files: the Local Register File (LRF) of each cluster and
-//! the Communication Queue Register Files (CQRFs) between adjacent clusters.
+//! the Communication Queue Register Files (CQRFs) between directly
+//! connected clusters.
 //!
-//! A CQRF sits between two adjacent clusters of the ring and is directional:
-//! one cluster has write-only access, the other read-only access. Sending a
-//! value to a neighbouring cluster therefore needs no explicit instruction —
-//! the producer simply writes its result into the appropriate CQRF and the
+//! A CQRF sits between two directly connected clusters of the interconnect
+//! and is directional: one cluster has write-only access, the other
+//! read-only access. Sending a value to a directly connected cluster
+//! therefore needs no explicit instruction — the producer simply writes its
+//! result into the queue file [`Topology::queue_between`] names and the
 //! consumer reads it from there. A value can be read **only once** from a
 //! queue, which is why multiple-use lifetimes are converted to single-use
 //! lifetimes before scheduling.
+//!
+//! Which queue files exist — one per adjacent directed pair on a ring, one
+//! shared output queue per cluster on a bus, one per directed pair on a
+//! crossbar — is decided by [`Topology::queue_files`]; this module only
+//! provides the identifier and the FIFO used by the simulators.
+//!
+//! [`Topology::queue_between`]: crate::topology::Topology::queue_between
+//! [`Topology::queue_files`]: crate::topology::Topology::queue_files
 
-use crate::topology::{ClusterId, Ring};
+use crate::topology::ClusterId;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
-/// Identifier of a directional CQRF: written by `writer`, read by `reader`.
-/// The two clusters must be adjacent on the ring.
+/// Identifier of a directional communication queue file: written by
+/// `writer`, read by `reader`. On a bus topology the single shared output
+/// queue of cluster `w` is identified by `writer == reader == w` (every
+/// other cluster reads it; `w` itself keeps its values in the LRF).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CqrfId {
     /// The cluster with write-only access.
     pub writer: ClusterId,
-    /// The cluster with read-only access.
+    /// The cluster with read-only access (equal to `writer` for a shared
+    /// bus output queue).
     pub reader: ClusterId,
-}
-
-impl CqrfId {
-    /// The CQRF used to send a value from `writer` to the adjacent `reader`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the clusters are not adjacent on the given ring (or are the
-    /// same cluster — intra-cluster values live in the LRF, not a CQRF).
-    pub fn between(ring: &Ring, writer: ClusterId, reader: ClusterId) -> Self {
-        assert!(
-            ring.distance(writer, reader) == 1,
-            "a CQRF only exists between adjacent clusters ({writer} and {reader} are not adjacent)"
-        );
-        CqrfId { writer, reader }
-    }
-
-    /// Enumerates every CQRF of a machine with the given ring (two per pair
-    /// of adjacent clusters, one per direction). A two-cluster ring has
-    /// exactly two CQRFs; a single-cluster machine has none.
-    pub fn all(ring: &Ring) -> Vec<CqrfId> {
-        let mut out = Vec::new();
-        if ring.len() < 2 {
-            return out;
-        }
-        for c in ring.iter() {
-            let next = ring.step(c, crate::topology::Direction::Clockwise);
-            if next == c {
-                continue;
-            }
-            out.push(CqrfId { writer: c, reader: next });
-            out.push(CqrfId { writer: next, reader: c });
-        }
-        out.sort();
-        out.dedup();
-        out
-    }
 }
 
 impl fmt::Display for CqrfId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CQRF[{}->{}]", self.writer, self.reader)
+        if self.writer == self.reader {
+            write!(f, "BUSQ[{}]", self.writer)
+        } else {
+            write!(f, "CQRF[{}->{}]", self.writer, self.reader)
+        }
     }
 }
 
@@ -153,31 +133,36 @@ impl<T> QueueFile<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::Ring;
+    use crate::topology::Topology;
 
     #[test]
     fn cqrf_between_adjacent_clusters() {
-        let ring = Ring::new(4);
-        let q = CqrfId::between(&ring, ClusterId(3), ClusterId(0));
+        let ring = Topology::ring(4);
+        let q = ring.queue_between(ClusterId(3), ClusterId(0)).unwrap();
         assert_eq!(q.writer, ClusterId(3));
         assert_eq!(q.reader, ClusterId(0));
         assert_eq!(q.to_string(), "CQRF[C3->C0]");
     }
 
     #[test]
-    #[should_panic(expected = "adjacent")]
-    fn cqrf_between_distant_clusters_panics() {
-        let ring = Ring::new(6);
-        let _ = CqrfId::between(&ring, ClusterId(0), ClusterId(3));
+    fn no_cqrf_between_distant_clusters() {
+        let ring = Topology::ring(6);
+        assert_eq!(ring.queue_between(ClusterId(0), ClusterId(3)), None);
     }
 
     #[test]
     fn cqrf_enumeration() {
-        assert_eq!(CqrfId::all(&Ring::new(1)).len(), 0);
-        assert_eq!(CqrfId::all(&Ring::new(2)).len(), 2);
+        assert_eq!(Topology::ring(1).queue_files().len(), 0);
+        assert_eq!(Topology::ring(2).queue_files().len(), 2);
         // a ring of C >= 3 clusters has C adjacent pairs, two CQRFs each
-        assert_eq!(CqrfId::all(&Ring::new(3)).len(), 6);
-        assert_eq!(CqrfId::all(&Ring::new(8)).len(), 16);
+        assert_eq!(Topology::ring(3).queue_files().len(), 6);
+        assert_eq!(Topology::ring(8).queue_files().len(), 16);
+    }
+
+    #[test]
+    fn bus_queue_display_names_the_shared_file() {
+        let q = CqrfId { writer: ClusterId(2), reader: ClusterId(2) };
+        assert_eq!(q.to_string(), "BUSQ[C2]");
     }
 
     #[test]

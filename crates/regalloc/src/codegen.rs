@@ -159,7 +159,7 @@ impl fmt::Display for VliwProgram {
 
 /// Builds the slot describing one scheduled operation.
 fn build_slot(result: &ScheduleResult, machine: &MachineConfig, op: OpId) -> CodeSlot {
-    let ring = machine.ring();
+    let topology = machine.topology();
     let placed = result.schedule.get(op).expect("codegen requires a complete schedule");
     let operation = result.ddg.op(op);
 
@@ -178,10 +178,10 @@ fn build_slot(result: &ScheduleResult, machine: &MachineConfig, op: OpId) -> Cod
                 if p.cluster == placed.cluster {
                     OperandSource::Lrf { producer }
                 } else {
-                    OperandSource::Cqrf {
-                        producer,
-                        queue: CqrfId::between(&ring, p.cluster, placed.cluster),
-                    }
+                    let queue = topology
+                        .queue_between(p.cluster, placed.cluster)
+                        .expect("codegen requires a communication-conflict-free schedule");
+                    OperandSource::Cqrf { producer, queue }
                 }
             }
         })
@@ -193,7 +193,14 @@ fn build_slot(result: &ScheduleResult, machine: &MachineConfig, op: OpId) -> Cod
         .flow_succs(op)
         .filter_map(|(_, e)| {
             let c = result.schedule.get(e.dst)?;
-            (c.cluster != placed.cluster).then(|| CqrfId::between(&ring, placed.cluster, c.cluster))
+            if c.cluster == placed.cluster {
+                return None;
+            }
+            Some(
+                topology
+                    .queue_between(placed.cluster, c.cluster)
+                    .expect("codegen requires a communication-conflict-free schedule"),
+            )
         })
         .collect();
     result_queues.sort();
@@ -322,8 +329,8 @@ mod tests {
     #[test]
     fn cross_cluster_operands_are_annotated_with_the_right_cqrf() {
         let (r, m, p) = program(8);
-        let ring = m.ring();
-        let cross_lifetimes = lifetimes_of(&r, &ring)
+        let topology = m.topology();
+        let cross_lifetimes = lifetimes_of(&r, &topology)
             .into_iter()
             .filter(|lt| matches!(lt.class, LifetimeClass::CrossCluster { .. }))
             .count();
@@ -340,7 +347,7 @@ mod tests {
         for slot in p.kernel.iter().flat_map(|w| &w.slots) {
             for src in &slot.sources {
                 if let OperandSource::Cqrf { queue, .. } = src {
-                    assert_eq!(ring.distance(queue.writer, queue.reader), 1);
+                    assert_eq!(topology.distance(queue.writer, queue.reader), 1);
                     assert_eq!(queue.reader, slot.cluster);
                 }
             }

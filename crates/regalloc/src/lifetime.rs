@@ -20,7 +20,7 @@ mod tests {
         let l = kernels::daxpy(128);
         let m = MachineConfig::paper_clustered(2);
         let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap();
-        let lts = lifetimes_of(&r, &m.ring());
+        let lts = lifetimes_of(&r, &m.topology());
         assert!(!lts.is_empty());
         for lt in &lts {
             assert!(lt.depth >= 1);
@@ -34,7 +34,7 @@ mod tests {
         let l = kernels::dot_product(128);
         let m = MachineConfig::paper_clustered(2);
         let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap();
-        let lts = lifetimes_of(&r, &m.ring());
+        let lts = lifetimes_of(&r, &m.topology());
         // the accumulator self-dependence has distance 1, so its use time is
         // at least II beyond its def time
         let self_lt = lts.iter().find(|lt| lt.producer == lt.consumer).unwrap();
@@ -47,10 +47,10 @@ mod tests {
         let l = dms_ir::transform::unroll(&kernels::fir(8, 256), 2);
         let m = MachineConfig::paper_clustered(6);
         let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap();
-        for lt in lifetimes_of(&r, &m.ring()) {
+        for lt in lifetimes_of(&r, &m.topology()) {
             match lt.class {
-                LifetimeClass::CrossCluster { writer, reader } => {
-                    assert_eq!(m.ring().distance(writer, reader), 1);
+                LifetimeClass::CrossCluster { queue } => {
+                    assert_eq!(m.topology().distance(queue.writer, queue.reader), 1);
                 }
                 LifetimeClass::Conflict { .. } => panic!("schedule has a communication conflict"),
                 LifetimeClass::Local(_) => {}
@@ -63,7 +63,7 @@ mod tests {
         let l = kernels::complex_multiply(128);
         let m = MachineConfig::paper_clustered(4);
         let r = dms_schedule(&l, &m, &DmsConfig::default()).unwrap();
-        let lts = lifetimes_of(&r, &m.ring());
+        let lts = lifetimes_of(&r, &m.topology());
         let ml = max_live(&lts, r.ii());
         assert!(ml >= 1);
         // MaxLive can never exceed the total number of lifetime instances

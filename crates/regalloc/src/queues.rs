@@ -1,7 +1,7 @@
 //! Allocation of lifetimes to queue register files.
 
 use crate::lifetime::{lifetimes, max_live, Lifetime, LifetimeClass};
-use dms_machine::{CqrfId, MachineConfig, Ring};
+use dms_machine::{CqrfId, MachineConfig, Topology};
 use dms_sched::schedule::ScheduleResult;
 use dms_sched::QueuePressure;
 use serde::{Deserialize, Serialize};
@@ -95,8 +95,8 @@ pub fn allocate(
     result: &ScheduleResult,
     machine: &MachineConfig,
 ) -> Result<RegAllocResult, AllocError> {
-    let ring: Ring = machine.ring();
-    let lts = lifetimes(&result.ddg, &result.schedule, &ring);
+    let topology: Topology = machine.topology();
+    let lts = lifetimes(&result.ddg, &result.schedule, &topology);
     if let Some(conflict) = lts.iter().find(|lt| matches!(lt.class, LifetimeClass::Conflict { .. }))
     {
         return Err(AllocError::CommunicationConflict { lifetime: *conflict });

@@ -23,7 +23,7 @@
 
 use crate::schedule::{Schedule, ScheduleResult, ScheduledOp};
 use dms_ir::{Ddg, DepEdge, OpId};
-use dms_machine::{ClusterId, CqrfId, MachineConfig, Ring};
+use dms_machine::{ClusterId, CqrfId, MachineConfig, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -33,13 +33,13 @@ pub enum LifetimeClass {
     /// Producer and consumer are in the same cluster: the value goes through
     /// that cluster's LRF.
     Local(ClusterId),
-    /// Producer and consumer are in adjacent clusters: the value goes through
-    /// the CQRF written by the producer's cluster and read by the consumer's.
+    /// Producer and consumer are in directly connected clusters: the value
+    /// goes through the communication queue file the topology assigns to the
+    /// pair (a dedicated per-pair CQRF on ring/chordal/crossbar machines,
+    /// the writer's shared output queue on a bus).
     CrossCluster {
-        /// Cluster that writes the value.
-        writer: ClusterId,
-        /// Cluster that reads the value.
-        reader: ClusterId,
+        /// The queue file carrying the value.
+        queue: CqrfId,
     },
     /// Producer and consumer are in indirectly connected clusters — this is a
     /// communication conflict and indicates an invalid schedule.
@@ -56,13 +56,15 @@ impl LifetimeClass {
     /// travels through on the given topology. This is the **single**
     /// cluster-pair → queue-file mapping: [`edge_lifetime`] classifies
     /// lifetimes with it and the DMS scheduler prices candidate clusters
-    /// with it, so a future topology change cannot make the placement
-    /// heuristic and the capacity ground truth disagree.
-    pub fn of(ring: &Ring, writer: ClusterId, reader: ClusterId) -> Self {
+    /// with it (via [`QueuePressure::queue_occupancy`]), so a topology
+    /// change cannot make the placement heuristic and the capacity ground
+    /// truth disagree. It delegates the pair → queue decision to
+    /// [`Topology::queue_between`].
+    pub fn of(topology: &Topology, writer: ClusterId, reader: ClusterId) -> Self {
         if writer == reader {
             LifetimeClass::Local(writer)
-        } else if ring.directly_connected(writer, reader) {
-            LifetimeClass::CrossCluster { writer, reader }
+        } else if let Some(queue) = topology.queue_between(writer, reader) {
+            LifetimeClass::CrossCluster { queue }
         } else {
             LifetimeClass::Conflict { writer, reader }
         }
@@ -105,12 +107,12 @@ pub fn edge_lifetime(
     producer: ScheduledOp,
     consumer: ScheduledOp,
     ii: u32,
-    ring: &Ring,
+    topology: &Topology,
 ) -> Lifetime {
     let use_time = consumer.time + ii * edge.distance;
     let length = use_time.saturating_sub(producer.time);
     let depth = (length.div_ceil(ii)).max(1);
-    let class = LifetimeClass::of(ring, producer.cluster, consumer.cluster);
+    let class = LifetimeClass::of(topology, producer.cluster, consumer.cluster);
     Lifetime {
         producer: edge.src,
         consumer: edge.dst,
@@ -126,7 +128,7 @@ pub fn edge_lifetime(
 ///
 /// Each flow edge of the scheduled DDG with both endpoints placed yields one
 /// lifetime (see [`edge_lifetime`] for the per-edge math).
-pub fn lifetimes(ddg: &Ddg, schedule: &Schedule, ring: &Ring) -> Vec<Lifetime> {
+pub fn lifetimes(ddg: &Ddg, schedule: &Schedule, topology: &Topology) -> Vec<Lifetime> {
     let ii = schedule.ii();
     let mut out = Vec::new();
     for (_, e) in ddg.live_edges() {
@@ -136,14 +138,14 @@ pub fn lifetimes(ddg: &Ddg, schedule: &Schedule, ring: &Ring) -> Vec<Lifetime> {
         let (Some(p), Some(c)) = (schedule.get(e.src), schedule.get(e.dst)) else {
             continue;
         };
-        out.push(edge_lifetime(e, p, c, ii, ring));
+        out.push(edge_lifetime(e, p, c, ii, topology));
     }
     out
 }
 
 /// Convenience wrapper over [`lifetimes`] for a [`ScheduleResult`].
-pub fn lifetimes_of(result: &ScheduleResult, ring: &Ring) -> Vec<Lifetime> {
-    lifetimes(&result.ddg, &result.schedule, ring)
+pub fn lifetimes_of(result: &ScheduleResult, topology: &Topology) -> Vec<Lifetime> {
+    lifetimes(&result.ddg, &result.schedule, topology)
 }
 
 /// The maximum number of values simultaneously live at any cycle of the
@@ -209,8 +211,8 @@ impl QueuePressure {
 
     /// The exact pressure of a finished schedule — the allocator's ground
     /// truth, computed from [`lifetimes`].
-    pub fn of_schedule(ddg: &Ddg, schedule: &Schedule, ring: &Ring) -> Self {
-        Self::from_lifetimes(&lifetimes(ddg, schedule, ring), ring.len())
+    pub fn of_schedule(ddg: &Ddg, schedule: &Schedule, topology: &Topology) -> Self {
+        Self::from_lifetimes(&lifetimes(ddg, schedule, topology), topology.len())
     }
 
     /// Accumulates a batch of lifetimes into a fresh pressure model.
@@ -226,8 +228,8 @@ impl QueuePressure {
     pub fn add(&mut self, lt: &Lifetime) {
         match lt.class {
             LifetimeClass::Local(c) => self.lrf[c.index()] += lt.depth,
-            LifetimeClass::CrossCluster { writer, reader } => {
-                *self.cqrf.entry(CqrfId { writer, reader }).or_insert(0) += lt.depth;
+            LifetimeClass::CrossCluster { queue } => {
+                *self.cqrf.entry(queue).or_insert(0) += lt.depth;
             }
             LifetimeClass::Conflict { .. } => self.conflict += lt.depth,
         }
@@ -249,12 +251,11 @@ impl QueuePressure {
                 let slot = &mut self.lrf[c.index()];
                 *slot = slot.checked_sub(lt.depth).expect(UNBALANCED);
             }
-            LifetimeClass::CrossCluster { writer, reader } => {
-                let id = CqrfId { writer, reader };
-                let slot = self.cqrf.get_mut(&id).expect(UNBALANCED);
+            LifetimeClass::CrossCluster { queue } => {
+                let slot = self.cqrf.get_mut(&queue).expect(UNBALANCED);
                 *slot = slot.checked_sub(lt.depth).expect(UNBALANCED);
                 if *slot == 0 {
-                    self.cqrf.remove(&id);
+                    self.cqrf.remove(&queue);
                 }
             }
             LifetimeClass::Conflict { .. } => {
@@ -273,6 +274,27 @@ impl QueuePressure {
     #[inline]
     pub fn cqrf(&self, id: CqrfId) -> u32 {
         self.cqrf.get(&id).copied().unwrap_or(0)
+    }
+
+    /// The queue registers currently occupied in the queue file a value
+    /// would use travelling from `writer` to `reader` (the LRF when they
+    /// are the same cluster), classified by the same [`LifetimeClass::of`]
+    /// mapping the capacity ground truth uses. Indirectly connected
+    /// clusters price as `u32::MAX`: placing the value there would be a
+    /// communication conflict. The DMS scheduler uses this both to
+    /// tie-break cluster selection and to score strategy-2 chain
+    /// candidates by the congestion of the queues their moves traverse.
+    pub fn queue_occupancy(
+        &self,
+        topology: &Topology,
+        writer: ClusterId,
+        reader: ClusterId,
+    ) -> u32 {
+        match LifetimeClass::of(topology, writer, reader) {
+            LifetimeClass::Local(c) => self.lrf(c),
+            LifetimeClass::CrossCluster { queue } => self.cqrf(queue),
+            LifetimeClass::Conflict { .. } => u32::MAX,
+        }
     }
 
     /// Per-LRF requirements, indexed by cluster id.
@@ -361,7 +383,7 @@ mod tests {
 
     #[test]
     fn edge_lifetime_matches_the_depth_formula() {
-        let ring = Ring::new(4);
+        let ring = Topology::ring(4);
         let (_, s, e) = two_op_schedule(2, 1, 3, (0, 1));
         let lt = edge_lifetime(&e, s.get(e.src).unwrap(), s.get(e.dst).unwrap(), 3, &ring);
         // use_time = 2 + 3 * 1 = 5, length 5, depth ceil(5/3) = 2
@@ -370,13 +392,15 @@ mod tests {
         assert_eq!(lt.depth, 2);
         assert_eq!(
             lt.class,
-            LifetimeClass::CrossCluster { writer: ClusterId(0), reader: ClusterId(1) }
+            LifetimeClass::CrossCluster {
+                queue: CqrfId { writer: ClusterId(0), reader: ClusterId(1) }
+            }
         );
     }
 
     #[test]
     fn zero_length_lifetimes_still_need_one_register() {
-        let ring = Ring::new(1);
+        let ring = Topology::ring(1);
         let (_, s, e) = two_op_schedule(0, 0, 4, (0, 0));
         let lt = edge_lifetime(&e, s.get(e.src).unwrap(), s.get(e.dst).unwrap(), 4, &ring);
         assert_eq!(lt.length, 0);
@@ -386,7 +410,7 @@ mod tests {
 
     #[test]
     fn add_then_remove_returns_to_empty() {
-        let ring = Ring::new(6);
+        let ring = Topology::ring(6);
         let (g, s, _) = two_op_schedule(2, 0, 2, (0, 5));
         let lts = lifetimes(&g, &s, &ring);
         assert_eq!(lts.len(), 1);
@@ -400,7 +424,7 @@ mod tests {
 
     #[test]
     fn conflict_lifetimes_go_to_the_conflict_bucket() {
-        let ring = Ring::new(6);
+        let ring = Topology::ring(6);
         let (g, s, _) = two_op_schedule(1, 0, 2, (0, 3));
         let lts = lifetimes(&g, &s, &ring);
         assert!(matches!(lts[0].class, LifetimeClass::Conflict { .. }));
@@ -428,7 +452,9 @@ mod tests {
             use_time: 9,
             length: 9,
             depth: 9,
-            class: LifetimeClass::CrossCluster { writer: ClusterId(0), reader: ClusterId(1) },
+            class: LifetimeClass::CrossCluster {
+                queue: CqrfId { writer: ClusterId(0), reader: ClusterId(1) },
+            },
         });
         let mut m = MachineConfig::paper_clustered(2);
         m.lrf_capacity = 4;
@@ -445,7 +471,7 @@ mod tests {
 
     #[test]
     fn of_schedule_equals_manual_accumulation() {
-        let ring = Ring::new(4);
+        let ring = Topology::ring(4);
         let (g, s, _) = two_op_schedule(3, 2, 2, (1, 2));
         let p = QueuePressure::of_schedule(&g, &s, &ring);
         assert_eq!(p, QueuePressure::from_lifetimes(&lifetimes(&g, &s, &ring), 4));

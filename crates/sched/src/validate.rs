@@ -10,7 +10,7 @@
 //!    the modulo reservation table;
 //! 4. on a clustered machine, the endpoints of every value-carrying (flow)
 //!    dependence are scheduled in directly connected clusters (same cluster
-//!    or ring distance 1) — the *communication constraint* of the paper.
+//!    or topology distance 1) — the *communication constraint* of the paper.
 
 use crate::schedule::{dependence_bound, Schedule};
 use dms_ir::{Ddg, DepEdge, OpId};
@@ -89,7 +89,7 @@ pub fn validate_schedule(
 ) -> Vec<Violation> {
     let mut violations = Vec::new();
     let ii = schedule.ii();
-    let ring = machine.ring();
+    let topology = machine.topology();
 
     // 1 & 2: placement existence and cluster validity.
     for (id, _) in ddg.live_ops() {
@@ -156,7 +156,7 @@ pub fn validate_schedule(
             let (Some(src), Some(dst)) = (schedule.get(edge.src), schedule.get(edge.dst)) else {
                 continue;
             };
-            if !ring.directly_connected(src.cluster, dst.cluster) {
+            if !topology.directly_connected(src.cluster, dst.cluster) {
                 violations.push(Violation::Communication {
                     edge: *edge,
                     src_cluster: src.cluster,

@@ -133,7 +133,7 @@ pub fn simulate(
 ) -> Result<SimReport, SimError> {
     let ddg = &result.ddg;
     let schedule = &result.schedule;
-    let ring = machine.ring();
+    let topology = machine.topology();
     let ii = schedule.ii() as u64;
 
     // --- set up queues for cross-cluster operand streams -------------------
@@ -149,7 +149,7 @@ pub fn simulate(
             if p_place.cluster == c_place.cluster {
                 continue; // local value: read through the LRF (history table)
             }
-            if !ring.directly_connected(p_place.cluster, c_place.cluster) {
+            if !topology.directly_connected(p_place.cluster, c_place.cluster) {
                 return Err(SimError::CommunicationConflict { producer, consumer });
             }
             let mut q = QueueFile::new(machine.cqrf_capacity.max(1) as usize);

@@ -97,7 +97,13 @@ pub fn execute_program(
 
     // --- set up one FIFO stream per CQRF-annotated operand ------------------
     // Every live operation appears exactly once in the kernel, so one pass
-    // over the kernel words discovers every stream.
+    // over the kernel words discovers every stream (and a preliminary pass
+    // the cluster of every producer, needed to check that each CQRF
+    // annotation names the queue file the machine's topology actually
+    // provides between the two clusters).
+    let topology = machine.topology();
+    let cluster_of: HashMap<OpId, dms_machine::ClusterId> =
+        program.kernel.iter().flat_map(|w| &w.slots).map(|slot| (slot.op, slot.cluster)).collect();
     for slot in program.kernel.iter().flat_map(|w| &w.slots) {
         let operation = ddg.op(slot.op);
         if slot.sources.len() != operation.reads.len() {
@@ -118,7 +124,9 @@ pub fn execute_program(
                     detail: format!("operand {idx} is annotated as a CQRF read but is no Def"),
                 });
             };
-            if read_producer != *producer || queue.reader != slot.cluster {
+            let expected =
+                cluster_of.get(producer).and_then(|&pc| topology.queue_between(pc, slot.cluster));
+            if read_producer != *producer || expected != Some(*queue) {
                 return Err(SimError::MalformedProgram {
                     op: slot.op,
                     detail: format!("operand {idx} CQRF annotation names the wrong endpoint"),

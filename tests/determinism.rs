@@ -58,6 +58,40 @@ fn per_core_thread_default_matches_serial_results() {
     assert_eq!(serial, per_core);
 }
 
+/// Non-ring topologies run through the same deterministic executor: a
+/// verified chordal-ring and bus sweep produce byte-identical measurement
+/// CSV — `topology` column included — for 1 and 4 worker threads.
+#[test]
+fn topology_sweep_is_byte_identical_for_1_and_4_threads() {
+    use dms_machine::TopologyKind;
+    for kind in [TopologyKind::ChordalRing { chord: 2 }, TopologyKind::Bus] {
+        let mut serial = ExperimentConfig::quick(12);
+        serial.cluster_counts = vec![2, 4, 8];
+        serial.topology = kind;
+        serial.verify = true;
+        serial.threads = 1;
+        let mut parallel = serial.clone();
+        parallel.threads = 4;
+
+        let (a, sa) = measure_suite_with_stats(&serial);
+        let (b, sb) = measure_suite_with_stats(&parallel);
+        assert_eq!(sa.failed, 0, "{kind}: every schedule must verify");
+        assert_eq!(sb.failed, 0);
+        assert!(sa.stores_verified > 0);
+        let csv = report::measurements_csv(&a);
+        assert_eq!(
+            csv,
+            report::measurements_csv(&b),
+            "{kind}: sweep output must not depend on the worker count"
+        );
+        let label = kind.label();
+        assert!(
+            csv.lines().skip(1).all(|l| l.ends_with(&label)),
+            "{kind}: every row must carry the topology column"
+        );
+    }
+}
+
 /// The DMS pressure-relaxation (II-retry) path is as deterministic as the
 /// rest of the sweep: with the CQRFs shrunk far enough that several
 /// schedules overflow and retry at a higher II, the measurement CSV —
@@ -88,6 +122,6 @@ fn pressure_retry_csv_is_byte_identical_for_1_and_4_threads() {
         "retry-path sweep output must not depend on the worker count"
     );
     let header = csv.lines().next().unwrap();
-    assert!(header.ends_with("pressure_retries,first_ii,max_queue_depth"));
+    assert!(header.ends_with("pressure_retries,first_ii,max_queue_depth,topology"));
     assert!(a.iter().any(|m| m.pressure_retries > 0));
 }

@@ -163,6 +163,48 @@ fn pinned_capacity_findings_schedule_allocate_and_verify_at_8_clusters() {
     }
 }
 
+/// Every non-ring interconnect goes through the identical pipeline: suite
+/// loops scheduled by DMS on chordal-ring, bus and crossbar machines pass
+/// structural validation, register allocation, code generation and
+/// execution with live-out values bit-equal to the scalar reference — and
+/// their lifetimes land only in queue files the topology actually provides.
+#[test]
+fn non_ring_topologies_schedule_allocate_and_verify() {
+    use dms_machine::TopologyKind;
+    let suite = generate(&SuiteConfig::small(12));
+    let unroll = UnrollPolicy::default();
+    let kinds = [TopologyKind::ChordalRing { chord: 2 }, TopologyKind::Bus, TopologyKind::Crossbar];
+    for kind in kinds {
+        for clusters in [2u32, 4, 8] {
+            let machine = MachineConfig::paper_clustered(clusters).with_topology(kind);
+            let legal: std::collections::BTreeSet<_> =
+                machine.topology().queue_files().into_iter().collect();
+            for sl in &suite {
+                let body = unroll_for_machine(&sl.body, machine.total_useful_fus(), &unroll);
+                let trips = body.trip_count.min(TRIPS);
+                let r = dms_schedule(&body, &machine, &DmsConfig::default())
+                    .unwrap_or_else(|e| panic!("{} ({kind}, {clusters} clusters): {e}", body.name));
+                let v = validate_schedule(&r.ddg, &machine, &r.schedule);
+                assert!(v.is_empty(), "{} ({kind}, {clusters} clusters): {v:?}", body.name);
+                let alloc = dms_regalloc::allocate(&r, &machine).unwrap_or_else(|e| {
+                    panic!("{} ({kind}, {clusters} clusters): allocation failed: {e}", body.name)
+                });
+                for q in alloc.cqrf_registers.keys() {
+                    assert!(
+                        legal.contains(q),
+                        "{} ({kind}): lifetime in nonexistent queue {q}",
+                        body.name
+                    );
+                }
+                let rep = verify_schedule(&body, &r, &machine, trips).unwrap_or_else(|e| {
+                    panic!("{} ({kind}, {clusters} clusters) failed verification: {e}", body.name)
+                });
+                assert!(rep.stores_checked > 0, "{} ({kind}): nothing verified", body.name);
+            }
+        }
+    }
+}
+
 /// A machine lacking a demanded functional-unit class yields a clean
 /// `ScheduleError::UnexecutableLoop` from both schedulers — not a
 /// `u32::MAX`-driven overflow of the II search.

@@ -154,8 +154,8 @@ fn incremental_pressure_estimate_equals_the_allocators_ground_truth() {
             let machine = MachineConfig::paper_clustered(clusters);
             let body = unroll_for_machine(&sl.body, machine.total_useful_fus(), &unroll);
             let r = dms_schedule(&body, &machine, &DmsConfig::default()).unwrap();
-            let ring = machine.ring();
-            let lifetimes = dms_regalloc::lifetime::lifetimes(&r.ddg, &r.schedule, &ring);
+            let topology = machine.topology();
+            let lifetimes = dms_regalloc::lifetime::lifetimes(&r.ddg, &r.schedule, &topology);
             let truth = QueuePressure::from_lifetimes(&lifetimes, clusters);
             assert_eq!(
                 r.pressure, truth,
@@ -174,6 +174,83 @@ fn incremental_pressure_estimate_equals_the_allocators_ground_truth() {
     }
 }
 
+/// Metric and queue-file properties of every interconnect variant, over the
+/// whole 1..10 cluster range of the paper's sweep: the hop distance is a
+/// genuine metric (symmetric, triangle inequality), direct connectivity is
+/// exactly distance ≤ 1, `queue_between` is total on connected distinct
+/// pairs and empty otherwise, every enumerated queue file is reachable
+/// through `queue_between`, and every path returned by `paths` walks
+/// directly connected hops from source to destination.
+#[test]
+fn topology_invariants_hold_for_every_variant_and_cluster_count() {
+    use dms_machine::{ClusterId, Topology, TopologyKind};
+    let kinds = [
+        TopologyKind::Ring,
+        TopologyKind::ChordalRing { chord: 2 },
+        TopologyKind::ChordalRing { chord: 3 },
+        TopologyKind::Bus,
+        TopologyKind::Crossbar,
+    ];
+    for kind in kinds {
+        for clusters in 1u32..=10 {
+            let t = Topology::new(kind, clusters);
+            assert_eq!(t.len(), clusters);
+            let mut seen_queues = std::collections::BTreeSet::new();
+            for a in t.iter() {
+                assert_eq!(t.distance(a, a), 0, "{t}: distance to self");
+                for b in t.iter() {
+                    let d = t.distance(a, b);
+                    assert_eq!(d, t.distance(b, a), "{t}: asymmetric distance {a} {b}");
+                    assert_eq!(
+                        t.directly_connected(a, b),
+                        d <= 1,
+                        "{t}: connectivity must be distance <= 1 for {a} {b}"
+                    );
+                    for c in t.iter() {
+                        assert!(
+                            t.distance(a, c) <= d + t.distance(b, c),
+                            "{t}: triangle inequality violated for {a} {b} {c}"
+                        );
+                    }
+                    match t.queue_between(a, b) {
+                        Some(q) => {
+                            assert!(a != b && t.directly_connected(a, b));
+                            assert_eq!(q.writer, a, "{t}: queue writer must be the producer");
+                            seen_queues.insert(q);
+                        }
+                        None => assert!(
+                            a == b || !t.directly_connected(a, b),
+                            "{t}: queue_between must be total on connected pairs {a} {b}"
+                        ),
+                    }
+                    // paths: start/end correct, hops directly connected
+                    let paths = t.paths(a, b);
+                    assert!(!paths.is_empty(), "{t}: connected machines always have a path");
+                    for p in &paths {
+                        assert_eq!(p.clusters.first(), Some(&a));
+                        assert_eq!(p.clusters.last(), Some(&b));
+                        assert!(p.hops() >= d as usize);
+                        for w in p.clusters.windows(2) {
+                            assert_ne!(w[0], w[1], "{t}: paths never revisit in place");
+                            assert!(t.directly_connected(w[0], w[1]));
+                        }
+                    }
+                    // the shortest returned path realises the distance
+                    assert_eq!(paths[0].hops(), d as usize, "{t}: shortest path {a} {b}");
+                }
+            }
+            // every advertised queue file is reachable via queue_between
+            let files = t.queue_files();
+            assert_eq!(files.len(), seen_queues.len(), "{t}: queue files vs queue_between");
+            assert!(files.iter().all(|q| seen_queues.contains(q)), "{t}");
+            if clusters == 1 {
+                assert!(files.is_empty(), "{t}: a single cluster has no CQRF");
+            }
+            let _ = ClusterId(0);
+        }
+    }
+}
+
 #[test]
 fn register_allocation_succeeds_for_every_valid_schedule() {
     run_cases(6, |l| {
@@ -185,7 +262,7 @@ fn register_allocation_succeeds_for_every_valid_schedule() {
             assert_eq!(alloc.lrf_registers.len(), clusters as usize);
             // every cross-cluster lifetime lives in a CQRF between adjacent clusters
             for id in alloc.cqrf_registers.keys() {
-                assert_eq!(machine.ring().distance(id.writer, id.reader), 1);
+                assert_eq!(machine.topology().distance(id.writer, id.reader), 1);
             }
         }
     });
