@@ -1,5 +1,6 @@
-//! The DMS driver: II search, the three placement strategies, and the
-//! register-pressure relaxation loop.
+//! The DMS driver: II search, the three placement strategies, the
+//! register-pressure relaxation loop, and the strategy dispatch (plain DMS,
+//! beam search, explore/exploit portfolio).
 
 use crate::chains::{self, ChainPolicy};
 use crate::state::SchedulerState;
@@ -7,9 +8,11 @@ use dms_ir::transform::convert_to_single_use;
 use dms_ir::{Ddg, Loop, OpId};
 use dms_machine::{ClusterId, FuKind, MachineConfig};
 use dms_sched::ims::default_max_ii;
-use dms_sched::mii::mii;
+use dms_sched::mii::{mii, MiiBreakdown};
 use dms_sched::pressure::QueuePressure;
 use dms_sched::schedule::{SchedStats, Schedule, ScheduleError, ScheduleResult};
+use dms_sched::strategy::SchedulerStrategy;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// When to apply the single-use (copy-insertion) lifetime conversion.
@@ -43,6 +46,28 @@ pub enum PressureMode {
 }
 
 /// Tuning parameters of the DMS search.
+///
+/// # Examples
+///
+/// The default configuration runs the paper's deterministic heuristic; a
+/// [`SchedulerStrategy`] widens the search without ever losing to it:
+///
+/// ```
+/// use dms_core::{dms_schedule, DmsConfig, SchedulerStrategy};
+/// use dms_ir::kernels;
+/// use dms_machine::MachineConfig;
+///
+/// let machine = MachineConfig::paper_clustered(4);
+/// let config = DmsConfig {
+///     strategy: SchedulerStrategy::Portfolio { n_candidates: 4, exploit_percent: 50 },
+///     ..DmsConfig::default()
+/// };
+/// let out = dms_schedule(&kernels::fir(8, 256), &machine, &config).unwrap();
+/// // The portfolio embeds the deterministic heuristic as candidate 0 and
+/// // only ever replaces it with a Pareto improvement.
+/// assert!(out.ii() <= out.baseline_ii);
+/// assert!(out.ii() >= out.stats.mii.unwrap().mii());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DmsConfig {
     /// Scheduling budget per candidate II, as a multiple of the number of
@@ -64,6 +89,12 @@ pub struct DmsConfig {
     /// edge-case loops whose default ceiling would sit below an II a
     /// neighbouring configuration proved reachable.
     pub ii_seed: Option<u32>,
+    /// Which search drives scheduling: the deterministic heuristic (the
+    /// default), a beam over strategy-1 placements, or an explore/exploit
+    /// portfolio of jittered-priority candidates. The non-default searches
+    /// schedule the plain heuristic first and only keep a challenger that
+    /// Pareto-dominates it on (II, queue pressure, code size).
+    pub strategy: SchedulerStrategy,
 }
 
 impl Default for DmsConfig {
@@ -75,6 +106,7 @@ impl Default for DmsConfig {
             single_use: SingleUsePolicy::ClusteredOnly,
             pressure: PressureMode::Aware,
             ii_seed: None,
+            strategy: SchedulerStrategy::Dms,
         }
     }
 }
@@ -100,6 +132,19 @@ pub struct ScheduleOutcome {
     /// Final incremental pressure estimate of the accepted schedule; equals
     /// the register allocator's per-queue requirements.
     pub pressure: QueuePressure,
+    /// II the plain deterministic heuristic achieves on this loop. Equal to
+    /// `self.ii()` under [`SchedulerStrategy::Dms`]; under beam/portfolio it
+    /// is the reference point the winning candidate Pareto-dominates. When
+    /// the plain heuristic fails outright and a randomized candidate rescues
+    /// the loop, this is the rescuer's own II.
+    pub baseline_ii: u32,
+    /// Challenger searches attempted beyond the deterministic baseline
+    /// (0 under [`SchedulerStrategy::Dms`], 1 for beam, `n_candidates - 1`
+    /// for a portfolio).
+    pub candidates_run: u32,
+    /// Index of the candidate whose schedule was kept: 0 is the
+    /// deterministic baseline, `i >= 1` the i-th challenger.
+    pub winner_candidate: u32,
 }
 
 impl std::ops::Deref for ScheduleOutcome {
@@ -133,17 +178,87 @@ impl ScheduleOutcome {
 /// [`DmsConfig::pressure`] to [`PressureMode::Ignore`] for the historical
 /// pressure-blind behaviour.
 ///
+/// Under [`SchedulerStrategy::Beam`] or [`SchedulerStrategy::Portfolio`] the
+/// deterministic heuristic runs first as the incumbent; challengers search
+/// only up to the incumbent's II and replace it only on a strict Pareto
+/// improvement over (II, total queue pressure, code size), so the returned
+/// schedule is never worse than the plain heuristic's. If the plain
+/// heuristic fails entirely, challengers search the full II range and the
+/// first success becomes the incumbent.
+///
 /// # Errors
 ///
 /// Returns [`ScheduleError::UnexecutableLoop`] if the machine lacks a
 /// required functional-unit class and [`ScheduleError::IiLimitReached`] if no
 /// schedule both fitting the queue files and satisfying the structural
 /// constraints is found up to the II limit.
+///
+/// # Panics
+///
+/// Panics if [`DmsConfig::strategy`] fails
+/// [`SchedulerStrategy::validate`] (a zero beam width or candidate count, or
+/// an exploit percentage above 100) — a programming error, since every CLI
+/// entry point validates at parse time.
 pub fn dms_schedule(
     l: &Loop,
     machine: &MachineConfig,
     config: &DmsConfig,
 ) -> Result<ScheduleOutcome, ScheduleError> {
+    if let Err(msg) = config.strategy.validate() {
+        panic!("invalid scheduler strategy: {msg}");
+    }
+    let prep = prepare(l, machine, config)?;
+    let plain = run_search(l, machine, config, &prep, None, &mut SearchMode::Deterministic);
+    let baseline_ii = plain.as_ref().ok().map(|o| o.ii());
+    let (outcome, candidates_run, winner) = match config.strategy {
+        SchedulerStrategy::Dms => (plain, 0, 0),
+        SchedulerStrategy::Beam { width } => {
+            let (outcome, winner) = run_challengers(plain, 1, |_, cap| {
+                run_search(l, machine, config, &prep, cap, &mut SearchMode::Beam { width })
+            });
+            (outcome, 1, winner)
+        }
+        SchedulerStrategy::Portfolio { n_candidates, exploit_percent } => {
+            let challengers = n_candidates.saturating_sub(1);
+            let (outcome, winner) = run_challengers(plain, challengers, |i, cap| {
+                let mut rng = StdRng::seed_from_u64(candidate_seed(&l.name, i));
+                let explore = !rng.gen_bool(f64::from(exploit_percent) / 100.0);
+                run_search(
+                    l,
+                    machine,
+                    config,
+                    &prep,
+                    cap,
+                    &mut SearchMode::Jittered { rng, explore },
+                )
+            });
+            (outcome, challengers, winner)
+        }
+    };
+    let mut outcome = outcome?;
+    outcome.baseline_ii = baseline_ii.unwrap_or_else(|| outcome.ii());
+    outcome.candidates_run = candidates_run;
+    outcome.winner_candidate = winner;
+    Ok(outcome)
+}
+
+/// The strategy-independent preprocessing of a loop: single-use conversion,
+/// MII bounds and the per-II scheduling budget. Shared by every candidate of
+/// a portfolio so the (deterministic) transforms run once per loop.
+struct Prepared {
+    ddg: Ddg,
+    copies: u64,
+    bounds: MiiBreakdown,
+    start_ii: u32,
+    max_ii: u32,
+    budget: u64,
+}
+
+fn prepare(
+    l: &Loop,
+    machine: &MachineConfig,
+    config: &DmsConfig,
+) -> Result<Prepared, ScheduleError> {
     let mut ddg = l.ddg.clone();
     let apply_single_use = match config.single_use {
         SingleUsePolicy::Always => true,
@@ -155,7 +270,6 @@ pub fn dms_schedule(
     } else {
         0
     };
-
     let bounds = mii(&ddg, machine)?;
     let start_ii = bounds.mii();
     let max_ii = config
@@ -163,20 +277,61 @@ pub fn dms_schedule(
         .unwrap_or_else(|| default_max_ii(&ddg, machine, start_ii))
         .max(config.ii_seed.unwrap_or(0));
     let budget = config.budget_ratio as u64 * ddg.num_live_ops().max(1) as u64;
+    Ok(Prepared { ddg, copies, bounds, start_ii, max_ii, budget })
+}
 
+/// How a single candidate attempts each II of the search.
+enum SearchMode {
+    /// The paper's deterministic heuristic.
+    Deterministic,
+    /// The deterministic heuristic with jittered priorities (a portfolio
+    /// challenger). The RNG persists across the candidate's II attempts, so
+    /// each attempt draws a fresh perturbation.
+    Jittered { rng: StdRng, explore: bool },
+    /// Beam search over strategy-1 placements.
+    Beam { width: u32 },
+}
+
+/// The II search with the pressure-relaxation loop, for one candidate.
+/// `ii_cap` (the incumbent's II, for challengers) tightens the search
+/// ceiling: a challenger at a higher II can never Pareto-dominate.
+fn run_search(
+    l: &Loop,
+    machine: &MachineConfig,
+    config: &DmsConfig,
+    prep: &Prepared,
+    ii_cap: Option<u32>,
+    mode: &mut SearchMode,
+) -> Result<ScheduleOutcome, ScheduleError> {
+    let max_ii = ii_cap.map_or(prep.max_ii, |cap| prep.max_ii.min(cap));
     let mut attempts = 0;
     let mut first_ii = None;
     let mut pressure_retries = 0u32;
-    for ii in start_ii..=max_ii {
+    for ii in prep.start_ii..=max_ii {
         attempts += 1;
         // Chains are steered away from congested queue files only once a
         // capacity rejection has proven that congestion binds for this
         // loop; until then every attempt follows the paper's criterion
         // exactly.
         let steer_chains = pressure_retries > 0;
-        let Some((out_ddg, schedule, mut stats, pressure)) =
-            try_dms(&ddg, machine, ii, budget, config, steer_chains)
-        else {
+        let attempt = match mode {
+            SearchMode::Deterministic => {
+                try_dms(&prep.ddg, machine, ii, prep.budget, config, steer_chains, None)
+            }
+            SearchMode::Jittered { rng, explore } => try_dms(
+                &prep.ddg,
+                machine,
+                ii,
+                prep.budget,
+                config,
+                steer_chains,
+                Some((rng, *explore)),
+            ),
+            SearchMode::Beam { width } => {
+                try_beam(&prep.ddg, machine, ii, prep.budget, config, steer_chains, *width)
+            }
+        };
+        let Some((out_ddg, schedule, mut stats, pressure)) = attempt else {
             continue;
         };
         let first_ii = *first_ii.get_or_insert(ii);
@@ -188,14 +343,17 @@ pub fn dms_schedule(
             pressure_retries += 1;
             continue;
         }
-        stats.mii = Some(bounds);
-        stats.copies_inserted = copies;
+        stats.mii = Some(prep.bounds);
+        stats.copies_inserted = prep.copies;
         stats.ii_attempts = attempts;
         return Ok(ScheduleOutcome {
             result: ScheduleResult { loop_name: l.name.clone(), ddg: out_ddg, schedule, stats },
             first_ii,
             pressure_retries,
             pressure,
+            baseline_ii: ii,
+            candidates_run: 0,
+            winner_candidate: 0,
         });
     }
     if pressure_retries > 0 {
@@ -210,7 +368,79 @@ pub fn dms_schedule(
     Err(ScheduleError::IiLimitReached { limit: max_ii })
 }
 
-/// One II attempt. Returns `None` when the budget is exhausted.
+/// Runs `challengers` searches against an incumbent, keeping a challenger
+/// only when it strictly Pareto-dominates the incumbent on
+/// (II, pressure, code size) — or when there is no incumbent to beat.
+/// Returns the final outcome and the index of the winning candidate
+/// (0 = the deterministic baseline).
+fn run_challengers(
+    mut incumbent: Result<ScheduleOutcome, ScheduleError>,
+    challengers: u32,
+    mut run: impl FnMut(u32, Option<u32>) -> Result<ScheduleOutcome, ScheduleError>,
+) -> (Result<ScheduleOutcome, ScheduleError>, u32) {
+    let mut winner = 0u32;
+    for i in 1..=challengers {
+        let cap = incumbent.as_ref().ok().map(|o| o.ii());
+        let Ok(challenger) = run(i, cap) else {
+            continue;
+        };
+        let replaces = match &incumbent {
+            Ok(best) => pareto_beats(&challenger, best),
+            Err(_) => true,
+        };
+        if replaces {
+            incumbent = Ok(challenger);
+            winner = i;
+        }
+    }
+    (incumbent, winner)
+}
+
+/// The minimization objectives of the portfolio/beam selection: II first in
+/// spirit, but compared as a Pareto triple, never lexicographically.
+fn score(o: &ScheduleOutcome) -> (u32, u32, u64) {
+    (o.ii(), o.pressure.total(), code_size_words(&o.schedule))
+}
+
+/// Emitted VLIW words of the schedule, independent of the trip count:
+/// prologue and epilogue of `stage_count - 1` stages each, plus the kernel,
+/// each `ii` words long.
+fn code_size_words(s: &Schedule) -> u64 {
+    (2 * (u64::from(s.stage_count()) - 1) + 1) * u64::from(s.ii())
+}
+
+/// Strict Pareto dominance: no objective worse, at least one strictly
+/// better. Ties keep the incumbent, so equal-quality challengers never
+/// displace the deterministic baseline.
+fn pareto_beats(challenger: &ScheduleOutcome, incumbent: &ScheduleOutcome) -> bool {
+    let (a, b) = (score(challenger), score(incumbent));
+    a != b && a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2
+}
+
+/// The jitter seed of portfolio candidate `candidate` on the named loop:
+/// FNV-1a over the loop name, mixed with the candidate index. A pure
+/// function of (loop, candidate), so sweeps are byte-reproducible for any
+/// worker count and work-stealing order.
+fn candidate_seed(loop_name: &str, candidate: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in loop_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ u64::from(candidate).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Draws one priority perturbation per DDG slot. Exploit candidates only
+/// break near-ties (jitter in {0, 1}); explore candidates may reorder whole
+/// height bands (jitter up to a quarter of the height span).
+fn draw_jitter(rng: &mut StdRng, heights: &[i64], explore: bool) -> Vec<i64> {
+    let span = heights.iter().copied().max().unwrap_or(0).max(0);
+    let bound = if explore { (span / 4).max(2) } else { 1 };
+    heights.iter().map(|_| rng.gen_range(0..=bound)).collect()
+}
+
+/// One II attempt of the plain (optionally jittered) heuristic. Returns
+/// `None` when the budget is exhausted.
 fn try_dms(
     ddg: &Ddg,
     machine: &MachineConfig,
@@ -218,10 +448,14 @@ fn try_dms(
     budget: u64,
     config: &DmsConfig,
     steer_chains: bool,
+    jitter: Option<(&mut StdRng, bool)>,
 ) -> Option<(Ddg, Schedule, SchedStats, QueuePressure)> {
     let mut st = SchedulerState::new(ddg.clone(), machine, ii);
     st.pressure_aware = config.pressure == PressureMode::Aware;
     st.chain_steering = st.pressure_aware && steer_chains;
+    if let Some((rng, explore)) = jitter {
+        st.jitter = draw_jitter(rng, &st.height, explore);
+    }
     let mut remaining = budget;
 
     while let Some(op) = st.pop_highest_priority() {
@@ -244,6 +478,107 @@ fn try_dms(
     }
 
     Some(st.into_parts())
+}
+
+/// One II attempt of the beam search: keep the best `width` partial
+/// placements per scheduling step. Branching happens only where the
+/// heuristic actually has slack — the (time, cluster) alternatives of
+/// strategy 1; chain building and forced placement stay single-choice.
+/// Returns `None` when the shared budget pool is exhausted before any
+/// branch completes.
+fn try_beam(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    budget: u64,
+    config: &DmsConfig,
+    steer_chains: bool,
+    width: u32,
+) -> Option<(Ddg, Schedule, SchedStats, QueuePressure)> {
+    let width = width.max(1) as usize;
+    let mut seed = SchedulerState::new(ddg.clone(), machine, ii);
+    seed.pressure_aware = config.pressure == PressureMode::Aware;
+    seed.chain_steering = seed.pressure_aware && steer_chains;
+    let mut beam = vec![seed];
+    // One pool for the whole beam, `width` single-search budgets deep: a
+    // wide beam explores more but never does unbounded extra work.
+    let mut remaining = budget.saturating_mul(width as u64);
+
+    while !beam.iter().all(|st| st.unscheduled.is_empty()) {
+        if remaining == 0 {
+            // Out of budget: settle for the branches that did finish.
+            beam.retain(|st| st.unscheduled.is_empty());
+            break;
+        }
+        let mut next: Vec<SchedulerState> = Vec::with_capacity(beam.len() * 2);
+        for mut st in beam {
+            let Some(op) = st.pop_highest_priority() else {
+                // Already complete: carried along as a finished candidate.
+                next.push(st);
+                continue;
+            };
+            if remaining == 0 {
+                continue;
+            }
+            remaining -= 1;
+            st.stats.budget_used += 1;
+            let options = beam_strategy1_options(&st, op, width);
+            if let Some((&first, rest)) = options.split_first() {
+                for &(time, cluster) in rest {
+                    let mut branch = st.clone();
+                    branch.place(op, time, cluster);
+                    branch.displace_conflicts(op, time, cluster);
+                    branch.stats.strategy1_placements += 1;
+                    next.push(branch);
+                }
+                let (time, cluster) = first;
+                st.place(op, time, cluster);
+                st.displace_conflicts(op, time, cluster);
+                st.stats.strategy1_placements += 1;
+            } else if place_strategy2(&mut st, op, config.chain_policy) {
+                st.stats.strategy2_placements += 1;
+            } else {
+                place_strategy3(&mut st, op);
+                st.stats.strategy3_placements += 1;
+            }
+            next.push(st);
+        }
+        // Prune to the `width` most promising branches: progress first
+        // (fewest unscheduled ops), then schedule span (the II-slack proxy
+        // at this fixed II), then queue pressure, then churn. The sort is
+        // stable, so equal branches keep their deterministic insertion
+        // order.
+        next.sort_by_cached_key(|st| {
+            (st.unscheduled.len(), st.schedule.max_time(), st.pressure.total(), st.stats.evictions)
+        });
+        next.truncate(width);
+        beam = next;
+    }
+
+    beam.into_iter()
+        .min_by_key(|st| (st.pressure.total(), st.schedule.max_time()))
+        .map(SchedulerState::into_parts)
+}
+
+/// The strategy-1 placements a beam branch may take: for each preferred
+/// cluster the first free slot in the scheduling window, best `width` kept,
+/// ordered so that `options[0]` is exactly the slot plain strategy 1 picks
+/// (earliest time, then cluster preference).
+fn beam_strategy1_options(st: &SchedulerState, op: OpId, width: usize) -> Vec<(u32, ClusterId)> {
+    let order = preferred_clusters(st, op);
+    let fu = FuKind::for_op(st.ddg.op(op).kind);
+    let (min_time, max_time) = st.window(op);
+    let mut options: Vec<(u32, ClusterId)> = Vec::with_capacity(order.len());
+    for &c in &order {
+        if let Some(t) = (min_time..=max_time).find(|&t| st.mrt.has_free(t, c, fu)) {
+            options.push((t, c));
+        }
+    }
+    // Stable by time: ties keep the preferred_clusters order, matching the
+    // time-major scan of place_strategy1.
+    options.sort_by_key(|&(t, _)| t);
+    options.truncate(width);
+    options
 }
 
 /// The communication-compatible clusters of `op`, ordered by preference:
@@ -573,5 +908,73 @@ mod tests {
         let r = check(&l, &m, &cfg);
         // `a` has three readers -> one copy keeps every fan-out at two.
         assert!(r.stats.copies_inserted >= 1);
+    }
+
+    #[test]
+    fn plain_strategy_reports_itself_as_its_own_baseline() {
+        let l = kernels::fir(8, 256);
+        let r = check(&l, &MachineConfig::paper_clustered(4), &DmsConfig::default());
+        assert_eq!(r.baseline_ii, r.ii());
+        assert_eq!(r.candidates_run, 0);
+        assert_eq!(r.winner_candidate, 0);
+    }
+
+    #[test]
+    fn beam_and_portfolio_never_lose_to_the_plain_heuristic() {
+        for l in kernels::all(64) {
+            for clusters in [2, 4, 8] {
+                let m = MachineConfig::paper_clustered(clusters);
+                let plain = check(&l, &m, &DmsConfig::default());
+                for strategy in [
+                    SchedulerStrategy::Beam { width: 4 },
+                    SchedulerStrategy::Portfolio { n_candidates: 4, exploit_percent: 50 },
+                ] {
+                    let cfg = DmsConfig { strategy, ..DmsConfig::default() };
+                    let r = check(&l, &m, &cfg);
+                    let tag = format!("{} on {clusters} clusters with {strategy}", l.name);
+                    assert_eq!(r.baseline_ii, plain.ii(), "{tag}: wrong baseline");
+                    // Pareto-dominates-or-equals the plain point on every
+                    // objective — the winner is either candidate 0 itself or
+                    // a strict improvement.
+                    assert!(r.ii() <= plain.ii(), "{tag}: II regressed");
+                    assert!(
+                        r.pressure.total() <= plain.pressure.total(),
+                        "{tag}: pressure regressed"
+                    );
+                    assert!(
+                        code_size_words(&r.schedule) <= code_size_words(&plain.schedule),
+                        "{tag}: code size regressed"
+                    );
+                    if r.winner_candidate == 0 {
+                        assert_eq!(r.ii(), plain.ii(), "{tag}: candidate 0 must be the plain run");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_is_deterministic_across_runs() {
+        let l = transform::unroll(&kernels::dot_product(1024), 4);
+        let m = MachineConfig::paper_clustered(8);
+        let cfg = DmsConfig {
+            strategy: SchedulerStrategy::Portfolio { n_candidates: 8, exploit_percent: 50 },
+            ..DmsConfig::default()
+        };
+        let a = check(&l, &m, &cfg);
+        let b = check(&l, &m, &cfg);
+        assert_eq!(a.ii(), b.ii());
+        assert_eq!(a.winner_candidate, b.winner_candidate);
+        assert_eq!(a.pressure.total(), b.pressure.total());
+        assert_eq!(a.candidates_run, 7);
+    }
+
+    #[test]
+    fn beam_width_one_still_schedules_every_kernel() {
+        let cfg =
+            DmsConfig { strategy: SchedulerStrategy::Beam { width: 1 }, ..DmsConfig::default() };
+        for l in kernels::all(64) {
+            check(&l, &MachineConfig::paper_clustered(4), &cfg);
+        }
     }
 }

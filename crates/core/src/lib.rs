@@ -49,4 +49,5 @@ pub mod state;
 
 pub use chains::{ChainPlan, ChainPolicy};
 pub use dms::{dms_schedule, DmsConfig, PressureMode, ScheduleOutcome, SingleUsePolicy};
+pub use dms_sched::SchedulerStrategy;
 pub use state::SchedulerState;

@@ -27,7 +27,10 @@ pub struct Chain {
 }
 
 /// Mutable state of one DMS scheduling attempt (one candidate II).
-#[derive(Debug)]
+///
+/// `Clone` is cheapest-possible but not free (the DDG, MRT and schedule are
+/// deep-copied); only the beam search clones states, once per kept branch.
+#[derive(Debug, Clone)]
 pub struct SchedulerState {
     /// Working copy of the DDG (owned; grows/shrinks with chains).
     pub ddg: Ddg,
@@ -66,6 +69,13 @@ pub struct SchedulerState {
     /// when the signal is known to matter — so loops whose queues never
     /// overflow schedule exactly as the paper's criterion dictates.
     pub chain_steering: bool,
+    /// Per-slot perturbation added to the height-based priority when popping
+    /// the next operation (empty = none, the deterministic default). Indexed
+    /// like [`SchedulerState::height`]; operations added after scheduling
+    /// started (chain moves) fall outside the vector and get 0. Portfolio
+    /// candidates fill this with seeded jitter; the perturbation affects
+    /// *only* the scheduling order, never the legality checks.
+    pub jitter: Vec<i64>,
     topology: Topology,
     ii: u32,
     move_latency: u32,
@@ -90,6 +100,7 @@ impl SchedulerState {
             pressure: QueuePressure::new(machine.num_clusters()),
             pressure_aware: true,
             chain_steering: false,
+            jitter: Vec::new(),
             topology: machine.topology(),
             ii,
             move_latency: machine.latency().mv,
@@ -122,16 +133,16 @@ impl SchedulerState {
     }
 
     /// Removes and returns the highest-priority unscheduled operation
-    /// (largest height; ties broken by the smallest id).
+    /// (largest height plus per-op [`SchedulerState::jitter`]; ties broken
+    /// by the smallest id).
     pub fn pop_highest_priority(&mut self) -> Option<OpId> {
         if self.unscheduled.is_empty() {
             return None;
         }
-        let (idx, _) = self
-            .unscheduled
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &o)| (self.height[o.index()], std::cmp::Reverse(o)))?;
+        let (idx, _) = self.unscheduled.iter().enumerate().max_by_key(|(_, &o)| {
+            let jitter = self.jitter.get(o.index()).copied().unwrap_or(0);
+            (self.height[o.index()] + jitter, std::cmp::Reverse(o))
+        })?;
         Some(self.unscheduled.swap_remove(idx))
     }
 

@@ -128,6 +128,9 @@ mod tests {
             first_ii: clustered_ii,
             max_queue_depth: 0,
             topology: "ring".to_string(),
+            strategy: "dms".to_string(),
+            candidates: 0,
+            baseline_ii: clustered_ii,
         }
     }
 

@@ -13,7 +13,9 @@
 //!
 //! [`figt`] adds a beyond-the-paper figure comparing achievable II across
 //! interconnect topologies (ring, chordal ring, bus, crossbar) through the
-//! `dms_machine::Topology` API.
+//! `dms_machine::Topology` API, and [`figp`] another comparing portfolio
+//! scheduler search (`dms_core::SchedulerStrategy`) against the single
+//! deterministic heuristic.
 //!
 //! [`runner`] produces the raw per-loop measurements shared by all figures
 //! (fanning the (loop × cluster-count) grid out across worker threads with
@@ -30,6 +32,7 @@ pub mod ablation;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod figp;
 pub mod figt;
 pub mod report;
 pub mod runner;
@@ -37,6 +40,7 @@ pub mod runner;
 pub use fig4::{figure4, Fig4Row};
 pub use fig5::{figure5, Fig5Row};
 pub use fig6::{figure6, Fig6Row};
+pub use figp::{figure_p, FigPRow, FIGP_CLUSTERS};
 pub use figt::{figure_t, FigTRow, FIGT_CLUSTERS, FIGT_TOPOLOGIES};
 pub use runner::{
     measure_suite, measure_suite_with_stats, ExperimentConfig, LoopMeasurement, SweepStats,

@@ -1,7 +1,7 @@
 //! Command-line entry point regenerating the paper's figures.
 //!
 //! ```text
-//! dms-experiments [fig4|fig5|fig6|figT|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar]
+//! dms-experiments [fig4|fig5|fig6|figT|figP|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]
 //! ```
 //!
 //! With no arguments it runs `all` at paper scale (1258 loops, 1–10
@@ -16,14 +16,22 @@
 //! pressure-relaxation (II-retry) path. `--topology` swaps the clustered
 //! machine's interconnect (the paper's ring by default) for a chordal ring,
 //! a shared bus or a crossbar; `figT` sweeps all four at 2/4/8 clusters
-//! with verification forced on and compares the achievable II.
+//! with verification forced on and compares the achievable II. `--strategy`
+//! swaps the deterministic DMS heuristic for a beam search (`beam:W`) or an
+//! explore/exploit portfolio of randomized-priority candidates
+//! (`portfolio:N[:E]`, seeded deterministically per (loop, candidate), so
+//! sweeps stay byte-reproducible for any `--threads`); `figP` runs the
+//! portfolio against the plain heuristic at 2/4/8 clusters with
+//! verification forced on and reports how many loops recover II.
 
 use dms_experiments::ablation::{chain_policy_ablation, copy_unit_ablation};
 use dms_experiments::report;
 use dms_experiments::{
-    figure4, figure5, figure6, figure_t, measure_suite_with_stats, ExperimentConfig, FIGT_CLUSTERS,
+    figure4, figure5, figure6, figure_p, figure_t, measure_suite_with_stats, ExperimentConfig,
+    FIGP_CLUSTERS, FIGT_CLUSTERS,
 };
 use dms_machine::TopologyKind;
+use dms_sched::SchedulerStrategy;
 use std::process::ExitCode;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +40,7 @@ enum Command {
     Fig5,
     Fig6,
     FigT,
+    FigP,
     Ablation,
     All,
 }
@@ -43,7 +52,7 @@ struct Cli {
     csv_dir: Option<String>,
 }
 
-const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|figT|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar]";
+const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|figT|figP|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]";
 
 fn parse_args() -> Result<Cli, String> {
     let mut command = Command::All;
@@ -58,6 +67,7 @@ fn parse_args() -> Result<Cli, String> {
             "fig5" => command = Command::Fig5,
             "fig6" => command = Command::Fig6,
             "figT" | "figt" => command = Command::FigT,
+            "figP" | "figp" => command = Command::FigP,
             "ablation" => command = Command::Ablation,
             "all" => command = Command::All,
             "--loops" => {
@@ -85,6 +95,10 @@ fn parse_args() -> Result<Cli, String> {
                 config.topology = TopologyKind::parse(&v)?;
                 topology_given = true;
             }
+            "--strategy" => {
+                let v = args.next().ok_or("--strategy needs a value")?;
+                config.dms.strategy = SchedulerStrategy::parse(&v)?;
+            }
             "--verify" => config.verify = true,
             "--cqrf-capacity" => {
                 let v = args.next().ok_or("--cqrf-capacity needs a value")?;
@@ -110,6 +124,22 @@ fn parse_args() -> Result<Cli, String> {
             config.cluster_counts = FIGT_CLUSTERS.to_vec();
         }
     }
+    // Figure P compares the portfolio against its embedded baseline at the
+    // same 2/4/8-cluster points unless the user picked an explicit grid.
+    // An explicit --strategy still applies; the default-portfolio swap is
+    // resolved here so the run banner reports the strategy actually swept
+    // (`figure_p` repeats the override as a safety net for library callers).
+    if command == Command::FigP {
+        if !clusters_given {
+            config.cluster_counts = FIGP_CLUSTERS.to_vec();
+        }
+        if config.dms.strategy == SchedulerStrategy::Dms {
+            config.dms.strategy = SchedulerStrategy::Portfolio {
+                n_candidates: dms_sched::DEFAULT_PORTFOLIO_CANDIDATES,
+                exploit_percent: dms_sched::DEFAULT_EXPLOIT_PERCENT,
+            };
+        }
+    }
     Ok(Cli { command, config, csv_dir })
 }
 
@@ -132,12 +162,41 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "DMS reproduction — {} loops, clusters {:?}, seed {}, topology {}",
+        "DMS reproduction — {} loops, clusters {:?}, seed {}, topology {}, strategy {}",
         cli.config.suite.num_loops,
         cli.config.cluster_counts,
         cli.config.suite.seed,
-        cli.config.topology
+        cli.config.topology,
+        cli.config.dms.strategy
     );
+
+    if cli.command == Command::FigP {
+        let (rows, stats) = figure_p(&cli.config);
+        println!(
+            "swept {} tasks on {} thread(s) in {:.2} s — {} store values verified, \
+             {} pressure retries, {} failed",
+            stats.tasks,
+            stats.threads,
+            stats.wall_seconds,
+            stats.stores_verified,
+            stats.pressure_retries,
+            stats.failed
+        );
+        let recovered: usize = rows.iter().map(|r| r.recovered).sum();
+        let loops: usize = rows.iter().map(|r| r.loops).sum();
+        println!("portfolio recovered II on {recovered} of {loops} (loop, cluster-count) tasks");
+        println!();
+        println!("{}", report::render_figp(&rows));
+        if let Some(dir) = &cli.csv_dir {
+            write_csv(dir, "figureP.csv", &report::figp_csv(&rows));
+        }
+        // Figure P always verifies: any failed task is a compiler bug.
+        if stats.failed > 0 {
+            eprintln!("error: {} task(s) failed end-to-end verification", stats.failed);
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if cli.command == Command::FigT {
         let (rows, stats) = figure_t(&cli.config);

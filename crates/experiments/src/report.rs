@@ -4,6 +4,7 @@ use crate::ablation::AblationResult;
 use crate::fig4::{claim_no_overhead_up_to_8_clusters, Fig4Row};
 use crate::fig5::Fig5Row;
 use crate::fig6::{claim_ipc_trends, Fig6Row};
+use crate::figp::FigPRow;
 use crate::figt::FigTRow;
 use crate::runner::LoopMeasurement;
 use std::fmt::Write as _;
@@ -18,12 +19,12 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
         "loop_id,set2,clusters,useful_ops,trip_count,unclustered_ii,clustered_ii,\
          unclustered_mii,clustered_mii,unclustered_cycles,clustered_cycles,\
          copies,moves,strategy2,strategy3,verified_stores,pressure_retries,\
-         first_ii,max_queue_depth,topology\n",
+         first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii\n",
     );
     for m in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             m.loop_id,
             m.set2,
             m.clusters,
@@ -43,7 +44,10 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
             m.pressure_retries,
             m.first_ii,
             m.max_queue_depth,
-            m.topology
+            m.topology,
+            m.strategy,
+            m.candidates,
+            m.baseline_ii
         );
     }
     out
@@ -213,6 +217,63 @@ pub fn figt_csv(rows: &[FigTRow]) -> String {
     out
 }
 
+/// Renders figure P as an aligned text table.
+pub fn render_figp(rows: &[FigPRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure P — portfolio search vs the single DMS heuristic (verified)");
+    let _ = writeln!(
+        out,
+        "{:>16} {:>8} {:>6} {:>12} {:>13} {:>16} {:>16} {:>15}",
+        "strategy",
+        "clusters",
+        "loops",
+        "II recov(%)",
+        "mean II red(%)",
+        "no ovhd dms(%)",
+        "no ovhd port(%)",
+        "verified stores"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>16} {:>8} {:>6} {:>12.1} {:>13.2} {:>16.1} {:>16.1} {:>15}",
+            r.strategy,
+            r.clusters,
+            r.loops,
+            r.percent_recovered,
+            100.0 * r.mean_ii_reduction,
+            r.percent_no_overhead_dms,
+            r.percent_no_overhead,
+            r.verified_stores
+        );
+    }
+    out
+}
+
+/// Figure P as CSV.
+pub fn figp_csv(rows: &[FigPRow]) -> String {
+    let mut out = String::from(
+        "strategy,clusters,loops,recovered,percent_recovered,mean_ii_reduction,\
+         percent_no_overhead_dms,percent_no_overhead,verified_stores\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.4},{:.6},{:.4},{:.4},{}",
+            r.strategy,
+            r.clusters,
+            r.loops,
+            r.recovered,
+            r.percent_recovered,
+            r.mean_ii_reduction,
+            r.percent_no_overhead_dms,
+            r.percent_no_overhead,
+            r.verified_stores
+        );
+    }
+    out
+}
+
 /// Renders an ablation comparison.
 pub fn render_ablation(result: &AblationResult) -> String {
     let mut out = String::new();
@@ -355,13 +416,21 @@ mod tests {
             first_ii: 2,
             max_queue_depth: 4,
             topology: "ring".to_string(),
+            strategy: "portfolio:8:50".to_string(),
+            candidates: 7,
+            baseline_ii: 4,
         };
         let csv = measurements_csv(&[m]);
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
         assert!(header.starts_with("loop_id,set2,clusters"));
-        assert!(header.ends_with("pressure_retries,first_ii,max_queue_depth,topology"));
-        assert_eq!(lines.next().unwrap(), "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128,1,2,4,ring");
+        assert!(header.ends_with(
+            "pressure_retries,first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii"
+        ));
+        assert_eq!(
+            lines.next().unwrap(),
+            "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128,1,2,4,ring,portfolio:8:50,7,4"
+        );
         assert_eq!(lines.next(), None);
     }
 
@@ -370,6 +439,35 @@ mod tests {
         let csv = fig4_csv(&fig4_rows());
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("clusters,"));
+    }
+
+    #[test]
+    fn figp_rendering_and_csv_are_exact() {
+        let rows = vec![FigPRow {
+            strategy: "portfolio:8:50".to_string(),
+            clusters: 8,
+            loops: 1258,
+            recovered: 63,
+            percent_recovered: 5.0079,
+            mean_ii_reduction: 0.0123,
+            percent_no_overhead_dms: 73.5,
+            percent_no_overhead: 78.3,
+            verified_stores: 123456,
+        }];
+        let text = render_figp(&rows);
+        assert!(text.contains("Figure P"));
+        assert!(text.contains("portfolio:8:50"));
+        let csv = figp_csv(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "strategy,clusters,loops,recovered,percent_recovered,mean_ii_reduction,\
+             percent_no_overhead_dms,percent_no_overhead,verified_stores"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "portfolio:8:50,8,1258,63,5.0079,0.012300,73.5000,78.3000,123456"
+        );
     }
 
     #[test]

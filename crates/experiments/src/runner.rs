@@ -160,6 +160,16 @@ pub struct LoopMeasurement {
     pub max_queue_depth: u64,
     /// CSV label of the clustered machine's interconnect topology.
     pub topology: String,
+    /// CSV label of the scheduler strategy that produced `clustered_ii`
+    /// (`dms`, `beam:W` or `portfolio:N:E`).
+    pub strategy: String,
+    /// Challenger searches run beyond the deterministic baseline (0 for the
+    /// plain `dms` strategy).
+    pub candidates: u32,
+    /// II the plain deterministic DMS heuristic achieves on this cell; the
+    /// reference point a portfolio/beam winner Pareto-dominates. Equals
+    /// `clustered_ii` under the `dms` strategy.
+    pub baseline_ii: u32,
 }
 
 impl LoopMeasurement {
@@ -319,6 +329,9 @@ fn measure_body(
         first_ii: dms.first_ii,
         max_queue_depth,
         topology: config.topology.label(),
+        strategy: config.dms.strategy.label(),
+        candidates: dms.candidates_run,
+        baseline_ii: dms.baseline_ii,
     })
 }
 

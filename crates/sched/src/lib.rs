@@ -12,6 +12,9 @@
 //!   communication constraints,
 //! * [`pressure`] — the queue-register lifetime math shared by the register
 //!   allocator (ground truth) and the DMS scheduler (incremental estimate),
+//! * [`mod@strategy`] — the [`SchedulerStrategy`] surface selecting which
+//!   search drives scheduling (deterministic DMS, beam, or an
+//!   explore/exploit portfolio),
 //! * [`ims`] — **Iterative Modulo Scheduling** (Rau), the scheduler used for
 //!   the unclustered baseline machine in the paper's experiments.
 //!
@@ -26,6 +29,7 @@ pub mod mii;
 pub mod pressure;
 pub mod priority;
 pub mod schedule;
+pub mod strategy;
 pub mod validate;
 
 pub use ims::{default_max_ii, ims_schedule, ImsConfig};
@@ -36,4 +40,5 @@ pub use schedule::{
     dependence_bound, earliest_start, SchedStats, Schedule, ScheduleError, ScheduleResult,
     ScheduledOp,
 };
+pub use strategy::{SchedulerStrategy, DEFAULT_EXPLOIT_PERCENT, DEFAULT_PORTFOLIO_CANDIDATES};
 pub use validate::{validate_schedule, Violation};

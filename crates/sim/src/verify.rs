@@ -114,6 +114,24 @@ fn sort_trace(mut trace: Vec<StoreRecord>) -> Vec<StoreRecord> {
 /// (which share [`dms_ir::OpId`]s) must write bit-equal values; comparing against
 /// the original body means the whole transformation stack is under test.
 ///
+/// # Examples
+///
+/// Schedule one loop and run it through the whole oracle:
+///
+/// ```
+/// use dms_core::{dms_schedule, DmsConfig};
+/// use dms_ir::kernels;
+/// use dms_machine::MachineConfig;
+/// use dms_sim::verify_schedule;
+///
+/// let fir = kernels::fir(8, 64);
+/// let machine = MachineConfig::paper_clustered(4);
+/// let out = dms_schedule(&fir, &machine, &DmsConfig::default()).unwrap();
+/// let report = verify_schedule(&fir, &out, &machine, fir.trip_count).unwrap();
+/// assert_eq!(report.ii, out.ii());
+/// assert!(report.stores_checked > 0);
+/// ```
+///
 /// # Errors
 ///
 /// Returns the first [`VerifyError`] encountered, in pipeline order.

@@ -84,10 +84,10 @@ fn topology_sweep_is_byte_identical_for_1_and_4_threads() {
             report::measurements_csv(&b),
             "{kind}: sweep output must not depend on the worker count"
         );
-        let label = kind.label();
+        let cell = format!(",{},dms,0,", kind.label());
         assert!(
-            csv.lines().skip(1).all(|l| l.ends_with(&label)),
-            "{kind}: every row must carry the topology column"
+            csv.lines().skip(1).all(|l| l.contains(&cell)),
+            "{kind}: every row must carry the topology and strategy columns"
         );
     }
 }
@@ -122,6 +122,68 @@ fn pressure_retry_csv_is_byte_identical_for_1_and_4_threads() {
         "retry-path sweep output must not depend on the worker count"
     );
     let header = csv.lines().next().unwrap();
-    assert!(header.ends_with("pressure_retries,first_ii,max_queue_depth,topology"));
+    assert!(header.ends_with(
+        "pressure_retries,first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii"
+    ));
     assert!(a.iter().any(|m| m.pressure_retries > 0));
+}
+
+/// The portfolio search is seeded from (loop name, candidate index), never
+/// from thread identity or scheduling order: a verified
+/// `--strategy portfolio:8` sweep produces byte-identical measurement CSV —
+/// `strategy`, `candidates` and `baseline_ii` columns included — for 1 and
+/// 4 worker threads.
+#[test]
+fn portfolio_sweep_is_byte_identical_for_1_and_4_threads() {
+    use dms_core::SchedulerStrategy;
+    let mut serial = ExperimentConfig::quick(16);
+    serial.cluster_counts = vec![2, 4, 8];
+    serial.dms.strategy = SchedulerStrategy::Portfolio { n_candidates: 8, exploit_percent: 50 };
+    serial.verify = true;
+    serial.threads = 1;
+    let mut parallel = serial.clone();
+    parallel.threads = 4;
+
+    let (a, sa) = measure_suite_with_stats(&serial);
+    let (b, sb) = measure_suite_with_stats(&parallel);
+    assert_eq!(sa.failed, 0, "every portfolio winner must pass end-to-end verification");
+    assert_eq!(sb.failed, 0);
+    let csv = report::measurements_csv(&a);
+    assert_eq!(
+        csv,
+        report::measurements_csv(&b),
+        "portfolio sweep output must not depend on the worker count"
+    );
+    assert!(
+        csv.lines().skip(1).all(|l| l.contains(",portfolio:8:50,7,")),
+        "every row must carry the strategy label and challenger count"
+    );
+}
+
+/// The default `--strategy dms` sweep is byte-identical to the output of the
+/// pre-strategy scheduler, pinned against a committed fixture captured from
+/// the binary built just before the strategy surface landed
+/// (`fig4 --loops 24 --clusters 1,2,4,8 --threads 1 --csv …`). Only the
+/// three appended columns — `strategy`, `candidates`, `baseline_ii` — may
+/// differ, so they are stripped before comparing.
+#[test]
+fn default_strategy_csv_matches_the_pre_strategy_fixture() {
+    let fixture = include_str!("fixtures/measurements_pre_strategy.csv");
+    let mut cfg = ExperimentConfig::quick(24);
+    cfg.cluster_counts = vec![1, 2, 4, 8];
+    cfg.threads = 1;
+    let (rows, stats) = measure_suite_with_stats(&cfg);
+    assert_eq!(stats.failed, 0);
+    let stripped: String = report::measurements_csv(&rows)
+        .lines()
+        .map(|line| {
+            let mut fields: Vec<&str> = line.split(',').collect();
+            fields.truncate(fields.len() - 3);
+            fields.join(",") + "\n"
+        })
+        .collect();
+    assert_eq!(
+        stripped, fixture,
+        "the default dms strategy must reproduce the pre-strategy scheduler byte for byte"
+    );
 }

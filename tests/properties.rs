@@ -251,6 +251,43 @@ fn topology_invariants_hold_for_every_variant_and_cluster_count() {
     }
 }
 
+/// Every portfolio winner Pareto-dominates-or-equals the plain DMS point on
+/// (II, total queue pressure, code size): the portfolio keeps the
+/// deterministic heuristic as candidate 0 and only replaces it with a
+/// strict improvement, so no objective may ever regress — on randomly
+/// generated loops as much as on the curated suite. The winner must also
+/// still pass the independent validator and execute correctly.
+#[test]
+fn portfolio_winners_pareto_dominate_or_equal_the_plain_dms_point() {
+    use dms_core::SchedulerStrategy;
+    let code_size = |r: &dms_core::ScheduleOutcome| {
+        (2 * (u64::from(r.schedule.stage_count()) - 1) + 1) * u64::from(r.ii())
+    };
+    run_cases(7, |l| {
+        for clusters in [2u32, 4, 8] {
+            let machine = MachineConfig::paper_clustered(clusters);
+            let plain = dms_schedule(&l, &machine, &DmsConfig::default()).unwrap();
+            let cfg = DmsConfig {
+                strategy: SchedulerStrategy::Portfolio { n_candidates: 6, exploit_percent: 50 },
+                ..DmsConfig::default()
+            };
+            let winner = dms_schedule(&l, &machine, &cfg).unwrap();
+            let tag = format!("{} on {clusters} clusters", l.name);
+            assert_eq!(winner.baseline_ii, plain.ii(), "{tag}: wrong baseline");
+            assert_eq!(winner.candidates_run, 5, "{tag}: wrong challenger count");
+            assert!(winner.ii() <= plain.ii(), "{tag}: II regressed");
+            assert!(
+                winner.pressure.total() <= plain.pressure.total(),
+                "{tag}: queue pressure regressed"
+            );
+            assert!(code_size(&winner) <= code_size(&plain), "{tag}: code size regressed");
+            assert!(validate_schedule(&winner.ddg, &machine, &winner.schedule).is_empty(), "{tag}");
+            let report = simulate(&winner, &machine, l.trip_count).unwrap();
+            assert_eq!(report.useful_ops_executed, l.useful_ops() as u64 * l.trip_count, "{tag}");
+        }
+    });
+}
+
 #[test]
 fn register_allocation_succeeds_for_every_valid_schedule() {
     run_cases(6, |l| {
