@@ -1,0 +1,93 @@
+//! Emits the machine-readable benchmark snapshot (`BENCH_pr7.json`).
+//!
+//! Three measurements, all on the reduced-but-representative bench
+//! configuration (64 loops, clusters 1/2/4/8, verification on):
+//!
+//! 1. **cold sweep** — the full verified sweep against a fresh
+//!    [`ScheduleService`]: suite scheduling wall-time and schedules/s;
+//! 2. **per-II-attempt cost** — every (loop, cluster-count) cell scheduled
+//!    once with DMS on a second fresh service, total wall-time divided by
+//!    the summed `ii_attempts` of every search;
+//! 3. **warm sweep** — the exact same sweep re-run against the service the
+//!    cold sweep warmed: every request is a cache hit, and the cold/warm
+//!    ratio is the headline speedup of the content-addressed cache.
+//!
+//! Usage: `bench-snapshot [OUT_PATH]` (default `BENCH_pr7.json`). The CI
+//! bench-smoke job regenerates the snapshot and diffs its key schema
+//! against the committed file, so the numbers stay honest without gating on
+//! machine-dependent absolute times.
+
+use dms_bench::bench_config;
+use dms_experiments::runner::measure_suite_with_stats_on;
+use dms_service::{ScheduleRequest, ScheduleService, SchedulerKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr7.json".to_string());
+
+    let mut cfg = bench_config(64, vec![1, 2, 4, 8]);
+    cfg.verify = true;
+
+    // 1. Cold verified sweep against a fresh service.
+    let service = ScheduleService::default();
+    let (_, cold) = measure_suite_with_stats_on(&cfg, &service);
+    assert_eq!(cold.failed, 0, "the bench sweep must verify cleanly");
+
+    // 2. Per-II-attempt cost: one DMS request per cell on a second fresh
+    //    service (no verification, so the timing is pure scheduling), with
+    //    the summed ii_attempts of every search as the denominator.
+    let attempt_service = ScheduleService::default();
+    let suite = dms_workloads::generate(&cfg.suite);
+    let mut ii_attempts: u64 = 0;
+    let attempt_started = Instant::now();
+    for suite_loop in &suite {
+        for &clusters in &cfg.cluster_counts {
+            let machine = dms_machine::MachineConfig::paper_clustered(clusters);
+            let body = dms_workloads::unroll_for_machine(
+                &suite_loop.body,
+                machine.total_useful_fus(),
+                &cfg.unroll,
+            );
+            let resp = attempt_service
+                .schedule(&ScheduleRequest {
+                    body: &body,
+                    machine: &machine,
+                    dms: dms_core::DmsConfig::default(),
+                    scheduler: SchedulerKind::Dms,
+                    verify_trips: None,
+                })
+                .expect("bench kernels always schedule");
+            ii_attempts += u64::from(resp.output.result().summary().ii_attempts);
+        }
+    }
+    let attempt_seconds = attempt_started.elapsed().as_secs_f64();
+    let per_ii_attempt_micros = attempt_seconds * 1e6 / ii_attempts.max(1) as f64;
+
+    // 3. Warm re-run of the sweep on the service the cold sweep filled.
+    let (_, warm) = measure_suite_with_stats_on(&cfg, &service);
+    assert_eq!(warm.cache_misses, 0, "the warm sweep must be answered entirely from cache");
+    let warm_speedup =
+        if warm.wall_seconds > 0.0 { cold.wall_seconds / warm.wall_seconds } else { 0.0 };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"suite_loops\": {},", cfg.suite.num_loops);
+    let clusters: Vec<String> = cfg.cluster_counts.iter().map(u32::to_string).collect();
+    let _ = writeln!(json, "  \"cluster_counts\": [{}],", clusters.join(", "));
+    let _ = writeln!(json, "  \"threads\": {},", cold.threads);
+    let _ = writeln!(json, "  \"suite_schedule_seconds\": {:.4},", cold.wall_seconds);
+    let _ = writeln!(json, "  \"schedules_per_second\": {:.1},", cold.schedules_per_second());
+    let _ = writeln!(json, "  \"ii_attempts\": {ii_attempts},");
+    let _ = writeln!(json, "  \"per_ii_attempt_micros\": {per_ii_attempt_micros:.2},");
+    let _ = writeln!(json, "  \"cold_sweep_seconds\": {:.4},", cold.wall_seconds);
+    let _ = writeln!(json, "  \"warm_sweep_seconds\": {:.4},", warm.wall_seconds);
+    let _ = writeln!(json, "  \"warm_speedup\": {warm_speedup:.1},");
+    let _ = writeln!(json, "  \"warm_cache_hits\": {},", warm.cache_hits);
+    let _ = writeln!(json, "  \"warm_cache_misses\": {}", warm.cache_misses);
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("could not write the snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

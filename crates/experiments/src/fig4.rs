@@ -131,6 +131,7 @@ mod tests {
             strategy: "dms".to_string(),
             candidates: 0,
             baseline_ii: clustered_ii,
+            cache_hit: false,
         }
     }
 

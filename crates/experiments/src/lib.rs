@@ -20,7 +20,10 @@
 //! [`runner`] produces the raw per-loop measurements shared by all figures
 //! (fanning the (loop × cluster-count) grid out across worker threads with
 //! deterministic, worker-count-independent results — see
-//! [`runner::measure_loops_with_stats`]),
+//! [`runner::measure_loops_with_stats`]). Every scheduler invocation goes
+//! through the `dms-service` crate's [`ScheduleService`], whose
+//! content-addressed cache makes repeated sweeps against a resident service
+//! (the `dms-experiments serve` subcommand) answer from memory.
 //! [`ablation`] adds the two ablations motivated by the paper's §5
 //! discussion (extra Copy units; chain-direction policy), and [`report`]
 //! renders everything as aligned text tables and CSV.
@@ -37,11 +40,13 @@ pub mod figt;
 pub mod report;
 pub mod runner;
 
+pub use dms_service::ScheduleService;
 pub use fig4::{figure4, Fig4Row};
 pub use fig5::{figure5, Fig5Row};
 pub use fig6::{figure6, Fig6Row};
 pub use figp::{figure_p, FigPRow, FIGP_CLUSTERS};
 pub use figt::{figure_t, FigTRow, FIGT_CLUSTERS, FIGT_TOPOLOGIES};
 pub use runner::{
-    measure_suite, measure_suite_with_stats, ExperimentConfig, LoopMeasurement, SweepStats,
+    measure_suite, measure_suite_with_stats, measure_suite_with_stats_on, ExperimentConfig,
+    LoopMeasurement, SweepStats,
 };

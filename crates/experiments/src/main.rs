@@ -1,8 +1,19 @@
-//! Command-line entry point regenerating the paper's figures.
+//! Command-line entry point regenerating the paper's figures, plus the
+//! resident scheduling service.
 //!
 //! ```text
 //! dms-experiments [fig4|fig5|fig6|figT|figP|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]
+//! dms-experiments serve [--addr HOST:PORT] [--shards N]
+//! dms-experiments client [--addr HOST:PORT] [--loops N] [--clusters A,B,C] [--seed S] [--shutdown]
 //! ```
+//!
+//! `serve` keeps a [`dms_service::ScheduleService`] resident behind a
+//! newline-delimited JSON TCP endpoint (see `dms_service::wire` for the
+//! protocol); repeated requests are answered from its content-addressed
+//! schedule cache. `client` drives a served instance end to end: it runs a
+//! reduced sweep locally, replays every (loop, cluster-count) cell as a wire
+//! request, checks each response against the direct measurement, and then
+//! repeats the last request to prove it hits the cache.
 //!
 //! With no arguments it runs `all` at paper scale (1258 loops, 1–10
 //! clusters), prints every figure as a text table and checks the paper's
@@ -52,7 +63,7 @@ struct Cli {
     csv_dir: Option<String>,
 }
 
-const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|figT|figP|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]";
+const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|figT|figP|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]\n       dms-experiments serve [--addr HOST:PORT] [--shards N]\n       dms-experiments client [--addr HOST:PORT] [--loops N] [--clusters A,B,C] [--seed S] [--shutdown]";
 
 fn parse_args() -> Result<Cli, String> {
     let mut command = Command::All;
@@ -152,7 +163,194 @@ fn write_csv(dir: &str, name: &str, contents: &str) {
     }
 }
 
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:47117".to_string();
+    let mut shards = dms_service::service::DEFAULT_SHARDS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => {
+                    eprintln!("--addr needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => shards = v,
+                None => {
+                    eprintln!("--shards needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown serve argument: {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let service = std::sync::Arc::new(dms_service::ScheduleService::new(shards));
+    match dms_service::net::serve(addr.as_str(), service) {
+        Ok(()) => {
+            println!("dms-service shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: could not serve on {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_client(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:47117".to_string();
+    let mut loops = 4usize;
+    let mut clusters: Vec<u32> = vec![2, 4];
+    let mut seed: Option<u64> = None;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| it.next().cloned().ok_or(format!("{name} needs a value"));
+        let parsed = match arg.as_str() {
+            "--addr" => take("--addr").map(|v| addr = v),
+            "--loops" => take("--loops").and_then(|v| {
+                v.parse().map(|n| loops = n).map_err(|_| format!("bad --loops value {v}"))
+            }),
+            "--seed" => take("--seed").and_then(|v| {
+                v.parse().map(|s| seed = Some(s)).map_err(|_| format!("bad --seed value {v}"))
+            }),
+            "--clusters" => take("--clusters").and_then(|v| {
+                v.split(',')
+                    .map(|x| x.trim().parse().map_err(|_| format!("bad cluster count {x}")))
+                    .collect::<Result<Vec<u32>, String>>()
+                    .map(|c| clusters = c)
+            }),
+            "--shutdown" => {
+                shutdown = true;
+                Ok(())
+            }
+            other => Err(format!("unknown client argument: {other}\n{USAGE}")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match drive_service(&addr, loops, &clusters, seed, shutdown) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The client smoke loop: replays a reduced sweep against a served
+/// instance, one DMS request per (loop, cluster-count) cell, and checks
+/// every response against the locally-computed direct measurement.
+fn drive_service(
+    addr: &str,
+    loops: usize,
+    clusters: &[u32],
+    seed: Option<u64>,
+    shutdown: bool,
+) -> Result<(), String> {
+    use dms_service::wire::{self, Json, WireMachine, WireSchedule};
+
+    let mut config = ExperimentConfig::quick(loops);
+    config.cluster_counts = clusters.to_vec();
+    config.threads = 1;
+    if let Some(s) = seed {
+        config.suite.seed = s;
+    }
+    let suite = dms_workloads::generate(&config.suite);
+    let reference = dms_experiments::runner::measure_loops(&suite, &config);
+
+    let mut client = dms_service::net::Client::connect_with_retry(addr)
+        .map_err(|e| format!("could not connect to {addr}: {e}"))?;
+    let io = |e: std::io::Error| format!("connection to {addr} failed: {e}");
+
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    let mut last_request = None;
+    for suite_loop in &suite {
+        for &c in clusters {
+            // Unroll exactly as the sweep executor does, so the request body
+            // is the body the reference measurement scheduled.
+            let useful_fus = dms_machine::MachineConfig::paper_clustered(c).total_useful_fus();
+            let body =
+                dms_workloads::unroll_for_machine(&suite_loop.body, useful_fus, &config.unroll);
+            let request = wire::encode_schedule_request(&WireSchedule {
+                body,
+                machine: WireMachine {
+                    unclustered: false,
+                    clusters: c,
+                    copy_units: 1,
+                    cqrf_capacity: None,
+                    topology: TopologyKind::Ring,
+                },
+                scheduler: dms_service::SchedulerKind::Dms,
+                dms: dms_core::DmsConfig::default(),
+                verify_trips: None,
+            });
+            let line = client.roundtrip(&request).map_err(io)?;
+            let resp = Json::parse(&line)?;
+            if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("server rejected the request: {line}"));
+            }
+            total += 1;
+            let row = reference
+                .iter()
+                .find(|m| m.loop_id == suite_loop.id && m.clusters == c)
+                .ok_or("reference sweep is missing a row")?;
+            let summary = resp.get("summary").ok_or("response has no summary")?;
+            let dms = resp.get("dms").ok_or("response has no dms block")?;
+            let field = |obj: &Json, key: &str| obj.get(key).and_then(Json::as_u64);
+            let ok = field(summary, "ii") == Some(u64::from(row.clustered_ii))
+                && field(summary, "mii") == Some(u64::from(row.clustered_mii))
+                && field(summary, "copies") == Some(row.copies)
+                && field(summary, "moves") == Some(row.moves)
+                && field(dms, "first_ii") == Some(u64::from(row.first_ii))
+                && field(dms, "baseline_ii") == Some(u64::from(row.baseline_ii));
+            if ok {
+                matched += 1;
+            } else {
+                eprintln!(
+                    "mismatch on loop {} at {} clusters: served {} vs direct ii {}",
+                    suite_loop.id, c, line, row.clustered_ii
+                );
+            }
+            last_request = Some(request);
+        }
+    }
+    println!("{matched}/{total} responses match the direct sweep");
+    if matched != total {
+        return Err(format!("{} response(s) diverged from the direct sweep", total - matched));
+    }
+
+    if let Some(request) = last_request {
+        let resp = Json::parse(&client.roundtrip(&request).map_err(io)?)?;
+        if resp.get("cache_hit").and_then(Json::as_bool) != Some(true) {
+            return Err("repeat request missed the schedule cache".to_string());
+        }
+        println!("repeat request answered from cache");
+    }
+
+    if shutdown {
+        client.roundtrip(&wire::encode_shutdown_request()).map_err(io)?;
+        println!("server asked to shut down");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return run_serve(&argv[1..]),
+        Some("client") => return run_client(&argv[1..]),
+        _ => {}
+    }
+
     let cli = match parse_args() {
         Ok(cli) => cli,
         Err(msg) => {
@@ -236,6 +434,7 @@ fn main() -> ExitCode {
     }
 
     let (measurements, stats) = measure_suite_with_stats(&cli.config);
+    let reporting_started = std::time::Instant::now();
     println!(
         "swept {} (loop, machine) tasks twice (IMS + DMS) on {} thread{} in {:.2} s \
          — {:.0} schedules/s, {:.1}M useful op instances covered",
@@ -245,6 +444,11 @@ fn main() -> ExitCode {
         stats.wall_seconds,
         stats.schedules_per_second(),
         stats.useful_instances as f64 / 1e6,
+    );
+    println!(
+        "cache: {} of {} scheduler requests answered from the schedule cache",
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses,
     );
     if stats.pressure_retries > 0 {
         println!(
@@ -294,6 +498,11 @@ fn main() -> ExitCode {
             write_csv(dir, "figure6.csv", &report::fig6_csv(&rows));
         }
     }
+    println!(
+        "wall time: {:.2} s scheduling, {:.2} s reporting",
+        stats.wall_seconds,
+        reporting_started.elapsed().as_secs_f64(),
+    );
     // In verify mode a failed task is a compiler bug (a schedule that could
     // not be allocated, executed, or whose stores diverged from the scalar
     // reference): fail the run so scheduled CI sweeps gate on it.

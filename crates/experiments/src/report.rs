@@ -19,12 +19,12 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
         "loop_id,set2,clusters,useful_ops,trip_count,unclustered_ii,clustered_ii,\
          unclustered_mii,clustered_mii,unclustered_cycles,clustered_cycles,\
          copies,moves,strategy2,strategy3,verified_stores,pressure_retries,\
-         first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii\n",
+         first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii,cache_hit\n",
     );
     for m in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             m.loop_id,
             m.set2,
             m.clusters,
@@ -47,7 +47,8 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
             m.topology,
             m.strategy,
             m.candidates,
-            m.baseline_ii
+            m.baseline_ii,
+            m.cache_hit
         );
     }
     out
@@ -419,17 +420,19 @@ mod tests {
             strategy: "portfolio:8:50".to_string(),
             candidates: 7,
             baseline_ii: 4,
+            cache_hit: false,
         };
         let csv = measurements_csv(&[m]);
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
         assert!(header.starts_with("loop_id,set2,clusters"));
         assert!(header.ends_with(
-            "pressure_retries,first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii"
+            "pressure_retries,first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii,\
+             cache_hit"
         ));
         assert_eq!(
             lines.next().unwrap(),
-            "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128,1,2,4,ring,portfolio:8:50,7,4"
+            "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128,1,2,4,ring,portfolio:8:50,7,4,false"
         );
         assert_eq!(lines.next(), None);
     }

@@ -27,14 +27,11 @@
 //! identical — contents *and* order — for `threads = 1` and `threads = N`,
 //! and carries no trace of scheduling noise into the figures or CSV files.
 
-use dms_core::{dms_schedule, DmsConfig};
+use dms_core::DmsConfig;
 use dms_machine::{MachineConfig, TopologyKind};
-use dms_sched::ims::{ims_schedule, ImsConfig};
-use dms_sim::verify_schedule;
+use dms_service::{run_indexed, ScheduleRequest, ScheduleService, SchedulerKind};
 use dms_workloads::{generate, SuiteConfig, SuiteLoop, UnrollPolicy};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Parameters of one experiment run.
@@ -170,6 +167,11 @@ pub struct LoopMeasurement {
     /// reference point a portfolio/beam winner Pareto-dominates. Equals
     /// `clustered_ii` under the `dms` strategy.
     pub baseline_ii: u32,
+    /// Whether *both* scheduler requests of this cell (IMS and DMS) were
+    /// answered from the service's content-addressed schedule cache. Always
+    /// `false` on a cold sweep; a warm re-run of the same sweep against a
+    /// resident service flips every row to `true`.
+    pub cache_hit: bool,
 }
 
 impl LoopMeasurement {
@@ -210,6 +212,12 @@ pub struct SweepStats {
     /// across every executed schedule (0 unless the sweep ran in verify
     /// mode).
     pub peak_queue_depth: u64,
+    /// Scheduler requests this sweep answered from the service's schedule
+    /// cache (0 on a cold service; `2 * tasks` when re-running a sweep the
+    /// resident service has fully absorbed).
+    pub cache_hits: u64,
+    /// Scheduler requests this sweep had to compute cold.
+    pub cache_misses: u64,
 }
 
 impl SweepStats {
@@ -233,15 +241,7 @@ impl SweepStats {
     }
 }
 
-/// Resolves a `threads` request (0 = one worker per available core) to a
-/// concrete worker count.
-pub fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        requested
-    }
-}
+pub use dms_service::resolve_threads;
 
 /// The clustered machine of one sweep cell.
 fn clustered_machine(clusters: u32, config: &ExperimentConfig) -> MachineConfig {
@@ -277,36 +277,56 @@ pub fn measure_one(
         machine.total_useful_fus(),
         &config.unroll,
     );
-    measure_body(suite_loop, &body, clusters, config, None)
+    measure_body(suite_loop, &body, clusters, config, None, &ScheduleService::default())
 }
 
-/// Measures one already-unrolled body on one cluster count.
+/// Measures one already-unrolled body on one cluster count. Both scheduler
+/// runs (IMS on the unclustered machine, DMS on the clustered one) go
+/// through the schedule service; in verify mode the service also executes
+/// the schedule against the scalar reference and the digests come back in
+/// the response — cached or cold, the same bits either way.
 fn measure_body(
     suite_loop: &SuiteLoop,
     body: &dms_ir::Loop,
     clusters: u32,
     config: &ExperimentConfig,
     ii_seed: Option<u32>,
+    service: &ScheduleService,
 ) -> Option<LoopMeasurement> {
     let clustered_machine = clustered_machine(clusters, config);
     let unclustered_machine = MachineConfig::unclustered(clusters);
+    let verify_trips = config.verify.then(|| body.trip_count.min(VERIFY_TRIP_CAP));
 
-    let ims = ims_schedule(body, &unclustered_machine, &ImsConfig::default()).ok()?;
+    // A schedule or verification failure is a compiler bug; the task is
+    // dropped here and counted as failed by the sweep stats.
+    let ims_resp = service
+        .schedule(&ScheduleRequest {
+            body,
+            machine: &unclustered_machine,
+            dms: DmsConfig::default(),
+            scheduler: SchedulerKind::Ims,
+            verify_trips,
+        })
+        .ok()?;
     let dms_cfg = DmsConfig { ii_seed, ..config.dms };
-    let dms = dms_schedule(body, &clustered_machine, &dms_cfg).ok()?;
+    let dms_resp = service
+        .schedule(&ScheduleRequest {
+            body,
+            machine: &clustered_machine,
+            dms: dms_cfg,
+            scheduler: SchedulerKind::Dms,
+            verify_trips,
+        })
+        .ok()?;
 
-    // End-to-end verification: regalloc + codegen + execution of both
-    // schedules, cross-checked against the scalar reference. A failure is a
-    // compiler bug; the task is dropped and counted as failed.
-    let mut verified_stores = 0;
-    let mut max_queue_depth = 0;
-    if config.verify {
-        let trips = body.trip_count.min(VERIFY_TRIP_CAP);
-        let i = verify_schedule(body, &ims, &unclustered_machine, trips).ok()?;
-        let d = verify_schedule(body, &dms, &clustered_machine, trips).ok()?;
-        verified_stores = i.stores_checked + d.stores_checked;
-        max_queue_depth = i.max_queue_depth.max(d.max_queue_depth);
-    }
+    let ims = ims_resp.output.result();
+    let dms = dms_resp.output.dms().expect("a DMS request yields a DMS outcome");
+    let (verified_stores, max_queue_depth) = match (ims_resp.verify, dms_resp.verify) {
+        (Some(i), Some(d)) => {
+            (i.stores_checked + d.stores_checked, i.max_queue_depth.max(d.max_queue_depth))
+        }
+        _ => (0, 0),
+    };
 
     Some(LoopMeasurement {
         loop_id: suite_loop.id,
@@ -315,15 +335,15 @@ fn measure_body(
         useful_ops: body.useful_ops(),
         trip_count: body.trip_count,
         unclustered_ii: ims.ii(),
-        clustered_ii: dms.ii(),
+        clustered_ii: dms.result.ii(),
         unclustered_mii: ims.stats.mii.map(|m| m.mii()).unwrap_or(1),
-        clustered_mii: dms.stats.mii.map(|m| m.mii()).unwrap_or(1),
+        clustered_mii: dms.result.stats.mii.map(|m| m.mii()).unwrap_or(1),
         unclustered_cycles: ims.cycles(body.trip_count),
-        clustered_cycles: dms.cycles(body.trip_count),
-        copies: dms.stats.copies_inserted,
-        moves: dms.stats.moves_inserted,
-        strategy2: dms.stats.strategy2_placements,
-        strategy3: dms.stats.strategy3_placements,
+        clustered_cycles: dms.result.cycles(body.trip_count),
+        copies: dms.result.stats.copies_inserted,
+        moves: dms.result.stats.moves_inserted,
+        strategy2: dms.result.stats.strategy2_placements,
+        strategy3: dms.result.stats.strategy3_placements,
         verified_stores,
         pressure_retries: dms.pressure_retries,
         first_ii: dms.first_ii,
@@ -332,6 +352,7 @@ fn measure_body(
         strategy: config.dms.strategy.label(),
         candidates: dms.candidates_run,
         baseline_ii: dms.baseline_ii,
+        cache_hit: ims_resp.cache_hit && dms_resp.cache_hit,
     })
 }
 
@@ -341,10 +362,23 @@ pub fn measure_suite(config: &ExperimentConfig) -> Vec<LoopMeasurement> {
     measure_suite_with_stats(config).0
 }
 
-/// [`measure_suite`] plus the sweep's aggregate throughput.
+/// [`measure_suite`] plus the sweep's aggregate throughput. Runs against a
+/// fresh (cold) schedule service; use [`measure_suite_with_stats_on`] to
+/// sweep against a resident service whose cache outlives the sweep.
 pub fn measure_suite_with_stats(config: &ExperimentConfig) -> (Vec<LoopMeasurement>, SweepStats) {
+    measure_suite_with_stats_on(config, &ScheduleService::default())
+}
+
+/// [`measure_suite_with_stats`] against a caller-owned [`ScheduleService`].
+/// Re-running the same sweep on the same service answers every request from
+/// the cache: the CSV is byte-identical (the `cache_hit` column aside) and
+/// the sweep skips all scheduling and verification work.
+pub fn measure_suite_with_stats_on(
+    config: &ExperimentConfig,
+    service: &ScheduleService,
+) -> (Vec<LoopMeasurement>, SweepStats) {
     let suite = generate(&config.suite);
-    measure_loops_with_stats(&suite, config)
+    measure_loops_with_stats_on(&suite, config, service)
 }
 
 /// Measures an already-generated suite (useful when the caller also needs the
@@ -357,7 +391,11 @@ pub fn measure_loops(suite: &[SuiteLoop], config: &ExperimentConfig) -> Vec<Loop
 /// configuration order. The unrolled body is computed once per *distinct*
 /// unroll factor (neighbouring cluster counts frequently share one), and
 /// each DMS search is seeded with the previous count's achieved II.
-fn measure_loop(suite_loop: &SuiteLoop, config: &ExperimentConfig) -> Vec<Option<LoopMeasurement>> {
+fn measure_loop(
+    suite_loop: &SuiteLoop,
+    config: &ExperimentConfig,
+    service: &ScheduleService,
+) -> Vec<Option<LoopMeasurement>> {
     let mut bodies: Vec<(u32, dms_ir::Loop)> = Vec::new();
     let mut seed = None;
     config
@@ -378,7 +416,7 @@ fn measure_loop(suite_loop: &SuiteLoop, config: &ExperimentConfig) -> Vec<Option
                     &bodies.last().expect("just pushed").1
                 }
             };
-            let m = measure_body(suite_loop, body, clusters, config, seed);
+            let m = measure_body(suite_loop, body, clusters, config, seed, service);
             if let Some(measurement) = &m {
                 seed = Some(measurement.clustered_ii);
             }
@@ -387,58 +425,46 @@ fn measure_loop(suite_loop: &SuiteLoop, config: &ExperimentConfig) -> Vec<Option
         .collect()
 }
 
-/// The sweep executor.
-///
-/// Workers claim batches of loop indices from a shared atomic cursor (work
-/// stealing: nobody owns a range up front, so load imbalance between small
-/// and large loop bodies evens out) and write each loop's measurements —
-/// all its cluster counts, produced by `measure_loop` — into the loop’s
-/// dedicated slot. Rows come back loop-major, cluster counts in
-/// configuration order, bit-identical for any worker count.
+/// The sweep executor, on a fresh (cold) schedule service.
 pub fn measure_loops_with_stats(
     suite: &[SuiteLoop],
     config: &ExperimentConfig,
 ) -> (Vec<LoopMeasurement>, SweepStats) {
+    measure_loops_with_stats_on(suite, config, &ScheduleService::default())
+}
+
+/// The sweep executor, against a caller-owned [`ScheduleService`].
+///
+/// The work-stealing worker pool ([`dms_service::run_indexed`]) claims
+/// batches of loop indices from a shared atomic cursor, so load imbalance
+/// between small and large loop bodies evens out; each loop's measurements
+/// — all its cluster counts, produced by `measure_loop` — land in the
+/// loop's dedicated slot. Rows come back loop-major, cluster counts in
+/// configuration order, bit-identical for any worker count.
+///
+/// Every scheduler invocation goes through `service`, so a sweep the
+/// service has already absorbed is answered entirely from its cache; the
+/// per-sweep hit/miss delta is reported in [`SweepStats`].
+pub fn measure_loops_with_stats_on(
+    suite: &[SuiteLoop],
+    config: &ExperimentConfig,
+    service: &ScheduleService,
+) -> (Vec<LoopMeasurement>, SweepStats) {
     let per_loop = config.cluster_counts.len();
     let tasks = suite.len() * per_loop;
     let threads = resolve_threads(config.threads).min(suite.len().max(1));
+    let before = service.cache_stats();
     let started = Instant::now();
 
-    let slots: Vec<OnceLock<Vec<Option<LoopMeasurement>>>> =
-        (0..suite.len()).map(|_| OnceLock::new()).collect();
-    let cursor = AtomicUsize::new(0);
-    // Small batches amortise cursor contention without recreating the tail
-    // imbalance of static chunking.
-    let batch = (suite.len() / (threads * 16)).clamp(1, 32);
-
-    let run_worker = || loop {
-        let start = cursor.fetch_add(batch, Ordering::Relaxed);
-        if start >= suite.len() {
-            break;
-        }
-        for index in start..(start + batch).min(suite.len()) {
-            let result = measure_loop(&suite[index], config);
-            slots[index].set(result).expect("loop claimed twice");
-        }
-    };
-
-    if threads <= 1 {
-        run_worker();
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(run_worker)).collect();
-            for h in handles {
-                h.join().expect("measurement worker panicked");
-            }
-        });
-    }
+    let results: Vec<LoopMeasurement> =
+        run_indexed(suite.len(), threads, |index| measure_loop(&suite[index], config, service))
+            .into_iter()
+            .flatten()
+            .flatten()
+            .collect();
 
     let wall_seconds = started.elapsed().as_secs_f64();
-    let results: Vec<LoopMeasurement> = slots
-        .into_iter()
-        .flat_map(|slot| slot.into_inner().expect("work-stealing cursor missed a loop"))
-        .flatten()
-        .collect();
+    let after = service.cache_stats();
     let stats = SweepStats {
         tasks,
         completed: results.len(),
@@ -449,6 +475,8 @@ pub fn measure_loops_with_stats(
         stores_verified: results.iter().map(|m| m.verified_stores).sum(),
         pressure_retries: results.iter().map(|m| m.pressure_retries as u64).sum(),
         peak_queue_depth: results.iter().map(|m| m.max_queue_depth).max().unwrap_or(0),
+        cache_hits: after.hits - before.hits,
+        cache_misses: after.misses - before.misses,
     };
     (results, stats)
 }

@@ -9,6 +9,8 @@
 //! * a convenient [`LoopBuilder`] for writing loop bodies by hand,
 //! * graph analyses (strongly connected components, recurrence detection,
 //!   critical-path metrics) in [`analysis`],
+//! * an isomorphism-invariant content hash of a DDG ([`canon`]) — the
+//!   content address the `dms-service` schedule cache keys on,
 //! * the DDG transformations required by the paper: loop [`transform::unroll`]
 //!   and the single-use lifetime conversion
 //!   [`transform::convert_to_single_use`],
@@ -36,6 +38,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod canon;
 pub mod ddg;
 pub mod kernels;
 pub mod latency;
@@ -43,6 +46,7 @@ pub mod op;
 pub mod transform;
 
 pub use builder::LoopBuilder;
+pub use canon::canonical_hash;
 pub use ddg::{Ddg, DepEdge, DepKind, EdgeId};
 pub use latency::LatencySpec;
 pub use op::{OpId, OpKind, Operand, Operation};

@@ -1,0 +1,166 @@
+//! The sharded, content-addressed schedule cache.
+//!
+//! A fixed number of `Mutex`-guarded shards, picked by hashing the
+//! [`CacheKey`]; concurrent sweep workers only contend when they touch the
+//! same shard. Every entry is guarded by the requester's exact fingerprint
+//! (see [`crate::hash`]): one canonical key can hold several
+//! isomorphic-twin entries side by side, and a lookup hits only on an exact
+//! guard match — so a cached value is always *the* value the cold path
+//! would have produced for that precise request, bit for bit.
+//!
+//! The shard count is a pure performance knob: results never depend on it
+//! (a regression test in the workspace pins 1-shard vs 8-shard sweeps to
+//! byte-identical CSV).
+
+use crate::hash::CacheKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Snapshot of the cache's activity counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no matching entry (key absent or guard mismatch).
+    pub misses: u64,
+    /// Entries inserted (re-inserting an existing entry does not count).
+    pub inserts: u64,
+}
+
+/// One shard: a key mapped to its guard-disambiguated entries. The inner
+/// `Vec` is almost always length 1; isomorphic twins make it longer.
+type Shard<V> = Mutex<HashMap<CacheKey, Vec<(u64, V)>>>;
+
+/// A sharded map from (key, guard) to a cloneable value.
+#[derive(Debug)]
+pub struct ShardedCache<V> {
+    shards: Vec<Shard<V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// Creates a cache with `shards` shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Shard<V> {
+        &self.shards[(key.mixed() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up the entry for `key` whose guard matches exactly, counting a
+    /// hit or a miss.
+    pub fn lookup(&self, key: &CacheKey, guard: u64) -> Option<V> {
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        let found = shard
+            .get(key)
+            .and_then(|entries| entries.iter().find(|(g, _)| *g == guard))
+            .map(|(_, v)| v.clone());
+        drop(shard);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a value for (key, guard). Keep-first: if another worker
+    /// raced us to the same (key, guard) the existing entry wins — both
+    /// workers computed it from identical inputs through a deterministic
+    /// pipeline, so the values are identical and the first stays.
+    pub fn insert(&self, key: CacheKey, guard: u64, value: V) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let entries = shard.entry(key).or_default();
+        if entries.iter().any(|(g, _)| *g == guard) {
+            return;
+        }
+        entries.push((guard, value));
+        drop(shard);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total entries across all shards (guard-level granularity).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/insert counters.
+    pub fn stats(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(canon: u64, context: u64) -> CacheKey {
+        CacheKey { canon, context }
+    }
+
+    #[test]
+    fn lookup_miss_insert_hit() {
+        let cache: ShardedCache<String> = ShardedCache::new(4);
+        let k = key(1, 2);
+        assert_eq!(cache.lookup(&k, 7), None);
+        cache.insert(k, 7, "v".to_string());
+        assert_eq!(cache.lookup(&k, 7), Some("v".to_string()));
+        assert_eq!(cache.stats(), CacheCounters { hits: 1, misses: 1, inserts: 1 });
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn guard_mismatch_is_a_miss_and_twins_coexist() {
+        let cache: ShardedCache<u32> = ShardedCache::new(2);
+        let k = key(42, 42);
+        cache.insert(k, 1, 100);
+        assert_eq!(cache.lookup(&k, 2), None, "same key, different guard: miss");
+        cache.insert(k, 2, 200);
+        assert_eq!(cache.lookup(&k, 1), Some(100));
+        assert_eq!(cache.lookup(&k, 2), Some(200));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_keeps_the_first_value_and_does_not_count() {
+        let cache: ShardedCache<u32> = ShardedCache::new(1);
+        let k = key(5, 5);
+        cache.insert(k, 9, 1);
+        cache.insert(k, 9, 2);
+        assert_eq!(cache.lookup(&k, 9), Some(1));
+        assert_eq!(cache.stats().inserts, 1);
+    }
+
+    #[test]
+    fn zero_shards_is_clamped() {
+        let cache: ShardedCache<u32> = ShardedCache::new(0);
+        assert_eq!(cache.num_shards(), 1);
+    }
+}

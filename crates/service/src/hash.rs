@@ -1,0 +1,144 @@
+//! Cache-key derivation: FNV-1a digests and the two-part content address.
+//!
+//! A schedule is a pure function of (loop body, machine, scheduler
+//! configuration, verification trip count). The cache key splits that into:
+//!
+//! * `canon` — [`dms_ir::canonical_hash`] of the body's DDG: invariant
+//!   under op/edge reordering and id renaming, so isomorphic bodies key
+//!   identically;
+//! * `context` — an FNV-1a digest of everything else: scheduler kind, the
+//!   `DmsConfig` (DMS requests only — IMS ignores it, so it must not
+//!   fragment IMS entries), the machine description and the verify trip
+//!   count.
+//!
+//! Because some scheduler tie-breaks legitimately depend on non-canonical
+//! detail (the portfolio jitter is seeded from the *loop name*; DMS
+//! priority ties break on raw `OpId` numbering), a canonical key alone
+//! could serve one twin the other twin's schedule and break bit-exact
+//! determinism. Every cache entry therefore also carries an **exact
+//! fingerprint guard** — [`guard_fingerprint`]: FNV over the name, trip
+//! count and the raw `Debug` rendering of the DDG — and a lookup only hits
+//! when the guard matches. Isomorphic twins coexist under one key; a guard
+//! mismatch is a miss, never a wrong answer.
+
+use dms_ir::Loop;
+use std::fmt::{self, Write as _};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher, also usable as a [`fmt::Write`] sink so
+/// `Debug` renderings can be hashed without materialising the string.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// Starts a new digest at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one `u64` (little-endian).
+    pub fn word(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a value's `Debug` rendering. The derived `Debug` of a plain
+    /// data structure is a deterministic function of its fields, and the
+    /// cache is process-local, so this is a cheap way to fingerprint
+    /// configuration structs without a serialization framework.
+    pub fn debug<T: fmt::Debug>(&mut self, value: &T) {
+        let _ = write!(self, "{value:?}");
+    }
+
+    /// Returns the digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// The two-part content address of a schedule request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical (isomorphism-invariant) hash of the loop body's DDG.
+    pub canon: u64,
+    /// Digest of the request context: scheduler kind and configuration,
+    /// machine description, verification trip count.
+    pub context: u64,
+}
+
+impl CacheKey {
+    /// Mixes both halves into the value used to pick a shard and a hash
+    /// bucket.
+    pub fn mixed(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(self.canon);
+        h.word(self.context);
+        h.finish()
+    }
+}
+
+/// The exact-identity fingerprint guarding a cache entry: loop name, trip
+/// count and the raw (id-sensitive) DDG rendering.
+pub fn guard_fingerprint(body: &Loop) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(body.name.as_bytes());
+    h.word(body.trip_count);
+    h.debug(&body.ddg);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dms_ir::{LoopBuilder, Operand};
+
+    fn sample(name: &str, trips: u64) -> Loop {
+        let mut b = LoopBuilder::new(name);
+        let x = b.load(Operand::Induction);
+        let y = b.add(x.into(), Operand::Immediate(1));
+        b.store(y.into());
+        b.finish(trips)
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_sensitive() {
+        let mut a = Fnv::new();
+        a.bytes(b"hello");
+        let mut b = Fnv::new();
+        b.bytes(b"hello");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.bytes(b"hellp");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn guard_separates_name_trip_count_and_body() {
+        let base = guard_fingerprint(&sample("a", 8));
+        assert_eq!(base, guard_fingerprint(&sample("a", 8)));
+        assert_ne!(base, guard_fingerprint(&sample("b", 8)));
+        assert_ne!(base, guard_fingerprint(&sample("a", 9)));
+    }
+}

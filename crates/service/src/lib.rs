@@ -1,0 +1,54 @@
+//! # dms-service — Scheduling as a resident service
+//!
+//! The whole scheduling pipeline of this reproduction is deterministic: the
+//! same loop body, machine description and scheduler configuration always
+//! produce the same [`dms_core::ScheduleOutcome`], bit for bit. That makes
+//! schedules *cacheable by content* — and this crate is the resident core
+//! that exploits it, sitting between the raw schedulers
+//! ([`dms_sched::ims_schedule`], [`dms_core::dms_schedule`]) and every
+//! driver (the `dms-experiments` sweep engine, its `serve`/`client` wire
+//! frontend, the benches).
+//!
+//! Three pieces:
+//!
+//! * [`ScheduleService`] ([`service`]) — answers
+//!   [`ScheduleRequest`]s, either from the sharded content-addressed
+//!   [`cache`] or by running the scheduler (and, when asked, the end-to-end
+//!   verify oracle) cold and inserting the result. Cached responses are
+//!   bit-identical to cold ones: the cache stores the full outcome plus the
+//!   verified-stores digest, and an exact fingerprint guard inside every
+//!   entry keeps isomorphic-but-distinct loops (whose schedules can differ
+//!   in name-seeded tie-breaks) from ever sharing an entry.
+//! * [`cache`] — N `Mutex`-guarded shards keyed by
+//!   (canonical DDG hash, context hash), with hit/miss/insert counters.
+//!   The canonical half of the key is [`dms_ir::canonical_hash`]; the
+//!   context half folds the machine description, the scheduler kind and
+//!   configuration, and the verification trip count.
+//! * [`pool`] — the deterministic work-stealing worker pool (shared atomic
+//!   cursor, small claimed batches, one pre-allocated result slot per item)
+//!   lifted out of the experiments sweep engine so every driver can fan
+//!   work out the same way.
+//!
+//! [`wire`] and [`net`] add a newline-delimited-JSON wire protocol over
+//! `std::net::TcpListener` (thread-per-connection, no async runtime —
+//! the build is offline and the vendored serde shim is marker-traits only,
+//! so the JSON codec is hand-rolled here) used by the
+//! `dms-experiments serve` / `client` subcommands.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod hash;
+pub mod net;
+pub mod pool;
+pub mod service;
+pub mod wire;
+
+pub use cache::{CacheCounters, ShardedCache};
+pub use hash::CacheKey;
+pub use pool::{resolve_threads, run_indexed};
+pub use service::{
+    ScheduleRequest, ScheduleResponse, ScheduleService, SchedulerKind, SchedulerOutput,
+    ServiceError, VerifyDigest,
+};

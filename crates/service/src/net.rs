@@ -1,0 +1,233 @@
+//! TCP transport for the schedule service.
+//!
+//! [`serve`] binds a `std::net::TcpListener` and answers newline-delimited
+//! JSON requests (see [`crate::wire`]) with one thread per connection — no
+//! async runtime, only the standard library. A `{"op":"shutdown"}` request
+//! stops the accept loop; the acceptor is unblocked by a self-connect so a
+//! plain blocking `accept()` suffices.
+//!
+//! [`Client`] is the matching blocking connector used by the
+//! `dms-experiments client` smoke driver and the CI service-smoke job.
+
+use crate::service::{ScheduleRequest, ScheduleService};
+use crate::wire;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs the service on `addr` until a shutdown request arrives.
+///
+/// Prints one `dms-service listening on <addr>` line once bound (the CI
+/// smoke job and interactive users key off it), then accepts connections
+/// forever, one handler thread each. Returns once a client sends
+/// `{"op":"shutdown"}` and all handler threads have finished.
+///
+/// # Errors
+///
+/// Returns the bind error if `addr` cannot be bound.
+pub fn serve(addr: impl ToSocketAddrs, service: Arc<ScheduleService>) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    println!("dms-service listening on {local} ({} cache shards)", service.num_shards());
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            scope.spawn(move || handle_connection(stream, &service, &shutdown, local));
+        }
+    });
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &ScheduleService,
+    shutdown: &AtomicBool,
+    local: std::net::SocketAddr,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match wire::decode_request(&line) {
+            Err(e) => wire::encode_error(&e),
+            Ok(wire::WireRequest::Stats) => {
+                wire::encode_stats_response(service.cache_stats(), service.cache_len())
+            }
+            Ok(wire::WireRequest::Shutdown) => {
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop: it re-checks the flag per
+                // connection, so poke it with a throwaway connect.
+                let _ = TcpStream::connect(local);
+                wire::encode_shutdown_response()
+            }
+            Ok(wire::WireRequest::Schedule(ws)) => {
+                let machine = ws.machine.build();
+                let request = ScheduleRequest {
+                    body: &ws.body,
+                    machine: &machine,
+                    dms: ws.dms,
+                    scheduler: ws.scheduler,
+                    verify_trips: ws.verify_trips,
+                };
+                wire::encode_response(&service.schedule(&request))
+            }
+        };
+        if writer.write_all(reply.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// A blocking line-oriented client for the service.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`, retrying for roughly ten seconds so a client
+    /// launched alongside the server (as the CI smoke job does) wins the
+    /// startup race.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final connect error if the server never comes up.
+    pub fn connect_with_retry(addr: &str) -> std::io::Result<Client> {
+        let mut last_err = None;
+        for _ in 0..100 {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(Client { reader, writer: stream });
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        Err(last_err.expect("retry loop ran at least once"))
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a closed connection surfaces as
+    /// `UnexpectedEof`.
+    pub fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::SchedulerKind;
+    use crate::wire::{Json, WireMachine, WireSchedule};
+    use dms_core::DmsConfig;
+    use dms_ir::kernels;
+    use dms_machine::TopologyKind;
+
+    fn spawn_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        // Bind on port 0 first so the test knows the address before serving.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let handle = std::thread::spawn(move || {
+            serve(addr, Arc::new(ScheduleService::default())).unwrap();
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn serve_answers_schedules_caches_repeats_and_shuts_down() {
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect_with_retry(&addr.to_string()).unwrap();
+
+        let request = wire::encode_schedule_request(&WireSchedule {
+            body: kernels::fir(4, 32),
+            machine: WireMachine {
+                unclustered: false,
+                clusters: 2,
+                copy_units: 1,
+                cqrf_capacity: None,
+                topology: TopologyKind::Ring,
+            },
+            scheduler: SchedulerKind::Dms,
+            dms: DmsConfig::default(),
+            verify_trips: Some(32),
+        });
+
+        let cold = Json::parse(&client.roundtrip(&request).unwrap()).unwrap();
+        assert_eq!(cold.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(cold.get("cache_hit").and_then(Json::as_bool), Some(false));
+        assert!(cold.get("summary").unwrap().get("ii").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(!cold.get("verify").unwrap().is_null());
+
+        let warm = Json::parse(&client.roundtrip(&request).unwrap()).unwrap();
+        assert_eq!(warm.get("cache_hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(warm.get("summary"), cold.get("summary"), "warm must equal cold");
+
+        let stats = Json::parse(&client.roundtrip(&wire::encode_stats_request()).unwrap()).unwrap();
+        assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(1));
+
+        let bye =
+            Json::parse(&client.roundtrip(&wire::encode_shutdown_request()).unwrap()).unwrap();
+        assert_eq!(bye.get("shutdown").and_then(Json::as_bool), Some(true));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_get_error_replies_not_disconnects() {
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect_with_retry(&addr.to_string()).unwrap();
+
+        let bad = Json::parse(&client.roundtrip("{\"op\":\"nope\"}").unwrap()).unwrap();
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        let garbled = Json::parse(&client.roundtrip("{not json").unwrap()).unwrap();
+        assert_eq!(garbled.get("ok").and_then(Json::as_bool), Some(false));
+
+        // The connection survived both errors.
+        let stats = Json::parse(&client.roundtrip(&wire::encode_stats_request()).unwrap()).unwrap();
+        assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+
+        client.roundtrip(&wire::encode_shutdown_request()).unwrap();
+        handle.join().unwrap();
+    }
+}

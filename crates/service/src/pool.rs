@@ -1,0 +1,109 @@
+//! The deterministic work-stealing worker pool.
+//!
+//! Lifted out of the experiments sweep engine (`runner.rs`) so every driver
+//! of the service shares one executor. Workers claim small batches of item
+//! indices from a shared lock-free cursor — nobody owns a range up front,
+//! so load imbalance between cheap and expensive items evens out — and
+//! write each item's result into a pre-allocated slot. The returned vector
+//! is therefore **deterministic by construction**: identical — contents
+//! *and* order — for 1 worker and N workers, with no trace of scheduling
+//! noise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Resolves a `threads` request (0 = one worker per available core) to a
+/// concrete worker count.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        requested
+    }
+}
+
+/// Runs `f(0..count)` across `threads` workers and returns the results in
+/// index order.
+///
+/// `threads` is clamped to `count` (no point spawning more workers than
+/// items) and to at least 1. Batches are sized to amortise cursor
+/// contention without recreating the tail imbalance of static chunking.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated).
+pub fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    let slots: Vec<OnceLock<T>> = (0..count).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let batch = (count / (threads * 16)).clamp(1, 32);
+
+    let run_worker = || loop {
+        let start = cursor.fetch_add(batch, Ordering::Relaxed);
+        if start >= count {
+            break;
+        }
+        let end = (start + batch).min(count);
+        for (index, slot) in slots.iter().enumerate().take(end).skip(start) {
+            let result = f(index);
+            assert!(slot.set(result).is_ok(), "index {index} claimed twice");
+        }
+    };
+
+    if threads <= 1 {
+        run_worker();
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(run_worker)).collect();
+            for h in handles {
+                h.join().expect("pool worker panicked");
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("work-stealing cursor missed an index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_index_order_for_any_worker_count() {
+        for threads in [1, 2, 5, 64] {
+            let out = run_indexed(37, threads, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = run_indexed(100, 8, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let out: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn resolve_threads_maps_zero_to_the_core_count() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,0 +1,372 @@
+//! The resident schedule service: requests in, cached-or-cold responses
+//! out.
+//!
+//! [`ScheduleService::schedule`] is the single entry point every driver
+//! (the sweep engine, the wire frontend, the benches) goes through. A
+//! request names a loop body, a machine, a scheduler and optionally a
+//! verification trip count; the response carries the full scheduler output
+//! (not a summary — drivers need cycles, stats and the transformed DDG),
+//! the verified-stores digest when verification ran, and whether the answer
+//! came from the cache.
+//!
+//! **Cached responses are bit-identical to cold ones.** The cache stores
+//! the complete [`ScheduleOutcome`]/[`ScheduleResult`] plus the verify
+//! digest, keyed by (canonical DDG hash, context hash) and guarded by the
+//! exact loop fingerprint (see [`crate::hash`] for why the guard exists).
+//! Failures — scheduler errors and verification failures — are never
+//! cached: they are rare (a healthy sweep has none) and a negative cache
+//! would complicate the bit-exactness story for no measurable win.
+
+use crate::cache::{CacheCounters, ShardedCache};
+use crate::hash::{guard_fingerprint, CacheKey, Fnv};
+use dms_core::{dms_schedule, DmsConfig, ScheduleOutcome};
+use dms_ir::{canonical_hash, Loop};
+use dms_machine::MachineConfig;
+use dms_sched::{ims_schedule, ImsConfig, ScheduleError, ScheduleResult};
+use dms_sim::verify_schedule;
+use std::fmt;
+
+/// Which scheduler a request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// IMS on the (unclustered) machine — the paper's baseline.
+    Ims,
+    /// DMS (or the beam/portfolio searches layered on it, per
+    /// [`DmsConfig::strategy`]) on the clustered machine.
+    Dms,
+}
+
+/// One scheduling request.
+///
+/// Borrows the body and machine — the sweep engine submits thousands of
+/// requests against pre-built bodies and a handful of machines, and the
+/// service only clones what it actually caches.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleRequest<'a> {
+    /// The (already unrolled) loop body to schedule.
+    pub body: &'a Loop,
+    /// The machine to schedule for.
+    pub machine: &'a MachineConfig,
+    /// DMS configuration ([`SchedulerKind::Ims`] requests ignore it, and it
+    /// is excluded from their cache key so it cannot fragment IMS entries).
+    pub dms: DmsConfig,
+    /// Which scheduler to run.
+    pub scheduler: SchedulerKind,
+    /// `Some(trips)` additionally runs the end-to-end verify oracle
+    /// (regalloc → codegen → execution → bit-compare against the scalar
+    /// reference) for `trips` iterations; its digest is cached with the
+    /// schedule, so warm requests skip re-verification. A verification
+    /// failure fails the request.
+    pub verify_trips: Option<u64>,
+}
+
+/// Digest of a successful end-to-end verification, small enough to cache
+/// alongside the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyDigest {
+    /// Store values bit-compared against the scalar reference.
+    pub stores_checked: u64,
+    /// Largest CQRF stream occupancy reached while executing the schedule.
+    pub max_queue_depth: u64,
+}
+
+/// The scheduler output carried by a response: IMS produces a plain
+/// [`ScheduleResult`], DMS a [`ScheduleOutcome`] (result + search
+/// telemetry).
+#[derive(Debug, Clone)]
+pub enum SchedulerOutput {
+    /// Output of [`ims_schedule`].
+    Ims(Box<ScheduleResult>),
+    /// Output of [`dms_schedule`].
+    Dms(Box<ScheduleOutcome>),
+}
+
+impl SchedulerOutput {
+    /// The schedule result, whichever scheduler produced it.
+    pub fn result(&self) -> &ScheduleResult {
+        match self {
+            SchedulerOutput::Ims(r) => r,
+            SchedulerOutput::Dms(o) => &o.result,
+        }
+    }
+
+    /// The DMS outcome, if this was a DMS request.
+    pub fn dms(&self) -> Option<&ScheduleOutcome> {
+        match self {
+            SchedulerOutput::Ims(_) => None,
+            SchedulerOutput::Dms(o) => Some(o),
+        }
+    }
+}
+
+/// A successful response.
+#[derive(Debug, Clone)]
+pub struct ScheduleResponse {
+    /// The full scheduler output (bit-identical whether cached or cold).
+    pub output: SchedulerOutput,
+    /// The verification digest, present iff the request asked to verify.
+    pub verify: Option<VerifyDigest>,
+    /// Whether this response was answered from the cache.
+    pub cache_hit: bool,
+}
+
+/// Why a request failed. Failures are not cached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The scheduler found no schedule.
+    Schedule(ScheduleError),
+    /// The schedule failed end-to-end verification (a compiler bug; the
+    /// offending stage is described in the message).
+    Verify(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Schedule(e) => write!(f, "scheduling failed: {e:?}"),
+            ServiceError::Verify(msg) => write!(f, "verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What one cache entry stores: everything needed to replay the cold
+/// response bit for bit.
+#[derive(Debug, Clone)]
+struct CachedSchedule {
+    output: SchedulerOutput,
+    verify: Option<VerifyDigest>,
+}
+
+/// Default shard count: comfortably above the worker counts the sweep
+/// engine runs with, so shard contention stays negligible.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// The resident scheduling service: a sharded content-addressed schedule
+/// cache in front of the deterministic scheduling (+ verification)
+/// pipeline.
+#[derive(Debug)]
+pub struct ScheduleService {
+    cache: ShardedCache<CachedSchedule>,
+}
+
+impl Default for ScheduleService {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl ScheduleService {
+    /// Creates a service whose cache has `shards` shards (clamped to at
+    /// least 1). The shard count is a performance knob only: responses
+    /// never depend on it.
+    pub fn new(shards: usize) -> Self {
+        ScheduleService { cache: ShardedCache::new(shards) }
+    }
+
+    /// Number of cache shards.
+    pub fn num_shards(&self) -> usize {
+        self.cache.num_shards()
+    }
+
+    /// Snapshot of the cache hit/miss/insert counters.
+    pub fn cache_stats(&self) -> CacheCounters {
+        self.cache.stats()
+    }
+
+    /// Entries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Answers one request, from the cache when possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Schedule`] when the scheduler fails and
+    /// [`ServiceError::Verify`] when the requested end-to-end verification
+    /// fails. Neither is cached.
+    pub fn schedule(&self, req: &ScheduleRequest<'_>) -> Result<ScheduleResponse, ServiceError> {
+        let key = cache_key(req);
+        let guard = guard_fingerprint(req.body);
+        if let Some(entry) = self.cache.lookup(&key, guard) {
+            return Ok(ScheduleResponse {
+                output: entry.output,
+                verify: entry.verify,
+                cache_hit: true,
+            });
+        }
+
+        let output = match req.scheduler {
+            SchedulerKind::Ims => SchedulerOutput::Ims(Box::new(
+                ims_schedule(req.body, req.machine, &ImsConfig::default())
+                    .map_err(ServiceError::Schedule)?,
+            )),
+            SchedulerKind::Dms => SchedulerOutput::Dms(Box::new(
+                dms_schedule(req.body, req.machine, &req.dms).map_err(ServiceError::Schedule)?,
+            )),
+        };
+
+        let verify = match req.verify_trips {
+            None => None,
+            Some(trips) => {
+                let report = verify_schedule(req.body, output.result(), req.machine, trips)
+                    .map_err(|e| ServiceError::Verify(format!("{e:?}")))?;
+                Some(VerifyDigest {
+                    stores_checked: report.stores_checked,
+                    max_queue_depth: report.max_queue_depth,
+                })
+            }
+        };
+
+        self.cache.insert(key, guard, CachedSchedule { output: output.clone(), verify });
+        Ok(ScheduleResponse { output, verify, cache_hit: false })
+    }
+}
+
+/// Derives the content address of a request. The canonical half is the
+/// isomorphism-invariant DDG hash; the context half folds everything else
+/// the schedule depends on. `DmsConfig` only enters DMS keys — IMS ignores
+/// it, so including it would make identical IMS requests miss whenever an
+/// unrelated DMS knob (e.g. the sweep's `ii_seed` threading) changes.
+fn cache_key(req: &ScheduleRequest<'_>) -> CacheKey {
+    let mut ctx = Fnv::new();
+    match req.scheduler {
+        SchedulerKind::Ims => ctx.word(1),
+        SchedulerKind::Dms => {
+            ctx.word(2);
+            ctx.debug(&req.dms);
+        }
+    }
+    ctx.debug(req.machine);
+    match req.verify_trips {
+        None => ctx.word(0),
+        Some(trips) => {
+            ctx.word(1);
+            ctx.word(trips);
+        }
+    }
+    CacheKey { canon: canonical_hash(&req.body.ddg), context: ctx.finish() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dms_ir::kernels;
+
+    fn dms_request<'a>(body: &'a Loop, machine: &'a MachineConfig) -> ScheduleRequest<'a> {
+        ScheduleRequest {
+            body,
+            machine,
+            dms: DmsConfig::default(),
+            scheduler: SchedulerKind::Dms,
+            verify_trips: None,
+        }
+    }
+
+    #[test]
+    fn warm_response_is_identical_to_cold_and_flagged_as_hit() {
+        let service = ScheduleService::new(4);
+        let fir = kernels::fir(8, 64);
+        let machine = MachineConfig::paper_clustered(4);
+        let req = dms_request(&fir, &machine);
+
+        let cold = service.schedule(&req).unwrap();
+        assert!(!cold.cache_hit);
+        let warm = service.schedule(&req).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(cold.output.result().ii(), warm.output.result().ii());
+        assert_eq!(
+            format!("{:?}", cold.output.result().schedule),
+            format!("{:?}", warm.output.result().schedule),
+            "a cached schedule must be bit-identical to the cold one"
+        );
+        assert_eq!(service.cache_stats(), CacheCounters { hits: 1, misses: 1, inserts: 1 });
+    }
+
+    #[test]
+    fn verified_requests_cache_the_digest_and_skip_reverification() {
+        let service = ScheduleService::default();
+        let fir = kernels::fir(8, 64);
+        let machine = MachineConfig::paper_clustered(4);
+        let req = ScheduleRequest { verify_trips: Some(64), ..dms_request(&fir, &machine) };
+
+        let cold = service.schedule(&req).unwrap();
+        let digest = cold.verify.expect("verification ran");
+        assert!(digest.stores_checked > 0);
+        let warm = service.schedule(&req).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.verify, Some(digest));
+    }
+
+    #[test]
+    fn different_machine_scheduler_and_verify_contexts_do_not_collide() {
+        let service = ScheduleService::default();
+        let fir = kernels::fir(8, 64);
+        let clustered = MachineConfig::paper_clustered(4);
+        let unclustered = MachineConfig::unclustered(4);
+
+        let dms = service.schedule(&dms_request(&fir, &clustered)).unwrap();
+        let ims = service
+            .schedule(&ScheduleRequest {
+                scheduler: SchedulerKind::Ims,
+                ..dms_request(&fir, &unclustered)
+            })
+            .unwrap();
+        assert!(!ims.cache_hit, "IMS on another machine must not hit the DMS entry");
+        assert!(ims.output.dms().is_none());
+        assert!(dms.output.dms().is_some());
+
+        let verified = service
+            .schedule(&ScheduleRequest { verify_trips: Some(16), ..dms_request(&fir, &clustered) })
+            .unwrap();
+        assert!(!verified.cache_hit, "a verified request must not hit an unverified entry");
+        assert!(verified.verify.is_some());
+    }
+
+    #[test]
+    fn isomorphic_twin_with_a_different_name_misses_on_the_guard() {
+        let service = ScheduleService::default();
+        let fir = kernels::fir(8, 64);
+        let mut twin = fir.clone();
+        twin.name = "fir_renamed".to_string();
+        let machine = MachineConfig::paper_clustered(4);
+
+        service.schedule(&dms_request(&fir, &machine)).unwrap();
+        let twin_resp = service.schedule(&dms_request(&twin, &machine)).unwrap();
+        assert!(
+            !twin_resp.cache_hit,
+            "the exact-fingerprint guard must keep name-seeded tie-breaks from leaking \
+             across isomorphic twins"
+        );
+        assert_eq!(service.cache_len(), 2, "both twins coexist under one canonical key");
+    }
+
+    #[test]
+    fn ims_cache_key_ignores_the_dms_config() {
+        let service = ScheduleService::default();
+        let fir = kernels::fir(8, 64);
+        let machine = MachineConfig::unclustered(4);
+        let mut req =
+            ScheduleRequest { scheduler: SchedulerKind::Ims, ..dms_request(&fir, &machine) };
+        service.schedule(&req).unwrap();
+        req.dms.ii_seed = Some(7);
+        let warm = service.schedule(&req).unwrap();
+        assert!(warm.cache_hit, "an IMS request must hit regardless of DMS knobs");
+    }
+
+    #[test]
+    fn scheduler_failures_are_reported_and_not_cached() {
+        let service = ScheduleService::default();
+        let fir = kernels::fir(8, 64);
+        let machine = MachineConfig::paper_clustered(4);
+        let req = ScheduleRequest {
+            dms: DmsConfig { max_ii: Some(1), budget_ratio: 1, ..DmsConfig::default() },
+            ..dms_request(&fir, &machine)
+        };
+        let err = service.schedule(&req).unwrap_err();
+        assert!(matches!(err, ServiceError::Schedule(_)));
+        assert_eq!(service.cache_len(), 0, "failures are never cached");
+    }
+}

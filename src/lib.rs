@@ -20,5 +20,6 @@ pub use dms_ir as ir;
 pub use dms_machine as machine;
 pub use dms_regalloc as regalloc;
 pub use dms_sched as sched;
+pub use dms_service as service;
 pub use dms_sim as sim;
 pub use dms_workloads as workloads;

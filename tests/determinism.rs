@@ -7,7 +7,9 @@
 //! workspace bring-up issue.
 
 use dms_experiments::report;
-use dms_experiments::{figure4, figure5, figure6, measure_suite_with_stats, ExperimentConfig};
+use dms_experiments::{
+    figure4, figure5, figure6, measure_suite_with_stats, ExperimentConfig, ScheduleService,
+};
 
 fn suite_config(threads: usize) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::quick(32);
@@ -123,7 +125,8 @@ fn pressure_retry_csv_is_byte_identical_for_1_and_4_threads() {
     );
     let header = csv.lines().next().unwrap();
     assert!(header.ends_with(
-        "pressure_retries,first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii"
+        "pressure_retries,first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii,\
+         cache_hit"
     ));
     assert!(a.iter().any(|m| m.pressure_retries > 0));
 }
@@ -164,8 +167,8 @@ fn portfolio_sweep_is_byte_identical_for_1_and_4_threads() {
 /// pre-strategy scheduler, pinned against a committed fixture captured from
 /// the binary built just before the strategy surface landed
 /// (`fig4 --loops 24 --clusters 1,2,4,8 --threads 1 --csv …`). Only the
-/// three appended columns — `strategy`, `candidates`, `baseline_ii` — may
-/// differ, so they are stripped before comparing.
+/// four appended columns — `strategy`, `candidates`, `baseline_ii`,
+/// `cache_hit` — may differ, so they are stripped before comparing.
 #[test]
 fn default_strategy_csv_matches_the_pre_strategy_fixture() {
     let fixture = include_str!("fixtures/measurements_pre_strategy.csv");
@@ -178,12 +181,83 @@ fn default_strategy_csv_matches_the_pre_strategy_fixture() {
         .lines()
         .map(|line| {
             let mut fields: Vec<&str> = line.split(',').collect();
-            fields.truncate(fields.len() - 3);
+            fields.truncate(fields.len() - 4);
             fields.join(",") + "\n"
         })
         .collect();
     assert_eq!(
         stripped, fixture,
         "the default dms strategy must reproduce the pre-strategy scheduler byte for byte"
+    );
+}
+
+/// Drops the `cache_hit` column (the 24th) so cold and warm sweeps can be
+/// compared byte for byte on everything the figures consume.
+fn strip_cache_hit(csv: &str) -> String {
+    csv.lines()
+        .map(|line| {
+            let mut fields: Vec<&str> = line.split(',').collect();
+            fields.truncate(fields.len() - 1);
+            fields.join(",") + "\n"
+        })
+        .collect()
+}
+
+/// Re-running a sweep against a resident [`ScheduleService`] answers every
+/// scheduler request from the content-addressed cache: same CSV bytes
+/// (`cache_hit` column aside), every row flagged as cached, zero misses.
+#[test]
+fn warm_sweep_is_answered_entirely_from_the_schedule_cache() {
+    use dms_experiments::runner::measure_suite_with_stats_on;
+    let mut cfg = ExperimentConfig::quick(16);
+    cfg.cluster_counts = vec![1, 2, 4, 8];
+    cfg.verify = true;
+    cfg.threads = 4;
+
+    let service = ScheduleService::default();
+    let (cold, cold_stats) = measure_suite_with_stats_on(&cfg, &service);
+    assert_eq!(cold_stats.failed, 0);
+    assert_eq!(cold_stats.cache_hits, 0, "a fresh service has nothing to hit");
+    // Each task issues two scheduler requests: IMS and DMS.
+    assert_eq!(cold_stats.cache_misses, 2 * cold_stats.tasks as u64);
+    assert!(cold.iter().all(|m| !m.cache_hit), "cold rows must not claim a cache hit");
+
+    let (warm, warm_stats) = measure_suite_with_stats_on(&cfg, &service);
+    assert_eq!(warm_stats.failed, 0);
+    assert_eq!(
+        warm_stats.cache_hits,
+        2 * warm_stats.tasks as u64,
+        "every IMS and DMS request of the warm sweep must be a cache hit"
+    );
+    assert_eq!(warm_stats.cache_misses, 0);
+    assert!(warm.iter().all(|m| m.cache_hit), "warm rows must all come from the cache");
+    assert_eq!(
+        strip_cache_hit(&report::measurements_csv(&cold)),
+        strip_cache_hit(&report::measurements_csv(&warm)),
+        "a cached response must be bit-identical to the cold computation"
+    );
+    assert_eq!(
+        warm_stats.stores_verified, cold_stats.stores_verified,
+        "cached responses carry the cold run's verification digests"
+    );
+}
+
+/// The shard count of the schedule cache is a pure performance knob: a
+/// 1-shard and an 8-shard service produce byte-identical sweep CSV.
+#[test]
+fn cache_shard_count_does_not_change_results() {
+    use dms_experiments::runner::measure_suite_with_stats_on;
+    let mut cfg = ExperimentConfig::quick(12);
+    cfg.cluster_counts = vec![2, 4, 8];
+    cfg.threads = 4;
+
+    let (one, one_stats) = measure_suite_with_stats_on(&cfg, &ScheduleService::new(1));
+    let (eight, eight_stats) = measure_suite_with_stats_on(&cfg, &ScheduleService::new(8));
+    assert_eq!(one_stats.failed, 0);
+    assert_eq!(eight_stats.failed, 0);
+    assert_eq!(
+        report::measurements_csv(&one),
+        report::measurements_csv(&eight),
+        "the shard count may only affect lock contention, never results"
     );
 }

@@ -288,6 +288,50 @@ fn portfolio_winners_pareto_dominate_or_equal_the_plain_dms_point() {
     });
 }
 
+/// The content hash the schedule-service cache keys on is an isomorphism
+/// invariant: re-inserting the ops of any generated loop in a different
+/// order (with operands and edges remapped accordingly) never changes the
+/// hash, while semantically meaningful mutations — an edge latency, a
+/// dependence distance, a dropped edge — always do.
+#[test]
+fn canonical_hash_is_permutation_invariant_and_mutation_sensitive() {
+    use dms_ir::canon::{self, canonical_hash};
+    run_cases(8, |l| {
+        let n = l.ddg.num_slots();
+        let h = canonical_hash(&l.ddg);
+
+        // Reversal and a rotation: two maximally-different insertion orders.
+        let reversed: Vec<usize> = (0..n).rev().collect();
+        assert_eq!(canonical_hash(&canon::permute(&l.ddg, &reversed)), h, "{}: reversal", l.name);
+        let rotated: Vec<usize> = (0..n).map(|i| (i + n / 2) % n).collect();
+        assert_eq!(canonical_hash(&canon::permute(&l.ddg, &rotated)), h, "{}: rotation", l.name);
+
+        // A renamed loop is the same graph: the hash covers only the DDG.
+        let renamed = Loop { name: "renamed".to_string(), ..l.clone() };
+        assert_eq!(canonical_hash(&renamed.ddg), h);
+
+        // Mutations that change the dependence structure must change the
+        // hash (the service's exact-fingerprint guard is not reached unless
+        // the canonical key matches, so collisions here would conflate
+        // genuinely different scheduling problems).
+        let edges: Vec<_> = l.ddg.live_edges().map(|(id, e)| (id, *e)).collect();
+        let (first_edge, e) = edges[0];
+        let mut latency_bumped = l.ddg.clone();
+        latency_bumped.remove_edge(first_edge);
+        latency_bumped.add_edge(dms_ir::DepEdge { latency: e.latency + 7, ..e });
+        assert_ne!(canonical_hash(&latency_bumped), h, "{}: latency bump", l.name);
+
+        let mut distance_bumped = l.ddg.clone();
+        distance_bumped.remove_edge(first_edge);
+        distance_bumped.add_edge(dms_ir::DepEdge { distance: e.distance + 3, ..e });
+        assert_ne!(canonical_hash(&distance_bumped), h, "{}: distance bump", l.name);
+
+        let mut edge_dropped = l.ddg.clone();
+        edge_dropped.remove_edge(first_edge);
+        assert_ne!(canonical_hash(&edge_dropped), h, "{}: dropped edge", l.name);
+    });
+}
+
 #[test]
 fn register_allocation_succeeds_for_every_valid_schedule() {
     run_cases(6, |l| {
