@@ -1,6 +1,6 @@
-//! Emits the machine-readable benchmark snapshot (`BENCH_pr7.json`).
+//! Emits the machine-readable benchmark snapshot (`BENCH_pr8.json`).
 //!
-//! Three measurements, all on the reduced-but-representative bench
+//! Four measurements, all on the reduced-but-representative bench
 //! configuration (64 loops, clusters 1/2/4/8, verification on):
 //!
 //! 1. **cold sweep** — the full verified sweep against a fresh
@@ -10,9 +10,13 @@
 //!    the summed `ii_attempts` of every search;
 //! 3. **warm sweep** — the exact same sweep re-run against the service the
 //!    cold sweep warmed: every request is a cache hit, and the cold/warm
-//!    ratio is the headline speedup of the content-addressed cache.
+//!    ratio is the headline speedup of the content-addressed cache;
+//! 4. **contention sweep** — the same verified sweep with the
+//!    contention-accurate replay on, against a fresh service; the ratio to
+//!    the cold sweep is the wall-clock cost of the discrete-event replay
+//!    layer.
 //!
-//! Usage: `bench-snapshot [OUT_PATH]` (default `BENCH_pr7.json`). The CI
+//! Usage: `bench-snapshot [OUT_PATH]` (default `BENCH_pr8.json`). The CI
 //! bench-smoke job regenerates the snapshot and diffs its key schema
 //! against the committed file, so the numbers stay honest without gating on
 //! machine-dependent absolute times.
@@ -24,7 +28,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr7.json".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr8.json".to_string());
 
     let mut cfg = bench_config(64, vec![1, 2, 4, 8]);
     cfg.verify = true;
@@ -56,6 +60,7 @@ fn main() {
                     dms: dms_core::DmsConfig::default(),
                     scheduler: SchedulerKind::Dms,
                     verify_trips: None,
+                    contention: false,
                 })
                 .expect("bench kernels always schedule");
             ii_attempts += u64::from(resp.output.result().summary().ii_attempts);
@@ -69,6 +74,20 @@ fn main() {
     assert_eq!(warm.cache_misses, 0, "the warm sweep must be answered entirely from cache");
     let warm_speedup =
         if warm.wall_seconds > 0.0 { cold.wall_seconds / warm.wall_seconds } else { 0.0 };
+
+    // 4. Contention-accurate replay cost: the same verified sweep, replay
+    //    on, against a fresh service (so nothing is answered from cache).
+    let mut contention_cfg = cfg.clone();
+    contention_cfg.contention = true;
+    let (contention_rows, contention) =
+        measure_suite_with_stats_on(&contention_cfg, &ScheduleService::default());
+    assert_eq!(contention.failed, 0, "the contention sweep must verify cleanly");
+    assert!(
+        contention_rows.iter().all(|r| r.achieved_ii >= r.clustered_ii),
+        "the replay must never beat the scheduled II"
+    );
+    let replay_overhead =
+        if cold.wall_seconds > 0.0 { contention.wall_seconds / cold.wall_seconds } else { 0.0 };
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema_version\": 1,");
@@ -84,7 +103,9 @@ fn main() {
     let _ = writeln!(json, "  \"warm_sweep_seconds\": {:.4},", warm.wall_seconds);
     let _ = writeln!(json, "  \"warm_speedup\": {warm_speedup:.1},");
     let _ = writeln!(json, "  \"warm_cache_hits\": {},", warm.cache_hits);
-    let _ = writeln!(json, "  \"warm_cache_misses\": {}", warm.cache_misses);
+    let _ = writeln!(json, "  \"warm_cache_misses\": {},", warm.cache_misses);
+    let _ = writeln!(json, "  \"contention_sweep_seconds\": {:.4},", contention.wall_seconds);
+    let _ = writeln!(json, "  \"contention_replay_overhead\": {replay_overhead:.2}");
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("could not write the snapshot");

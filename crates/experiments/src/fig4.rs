@@ -132,6 +132,7 @@ mod tests {
             candidates: 0,
             baseline_ii: clustered_ii,
             cache_hit: false,
+            achieved_ii: 0,
         }
     }
 

@@ -13,9 +13,11 @@
 //!
 //! [`figt`] adds a beyond-the-paper figure comparing achievable II across
 //! interconnect topologies (ring, chordal ring, bus, crossbar) through the
-//! `dms_machine::Topology` API, and [`figp`] another comparing portfolio
-//! scheduler search (`dms_core::SchedulerStrategy`) against the single
-//! deterministic heuristic.
+//! `dms_machine::Topology` API, [`figc`] replays those schedules under
+//! contention-accurate link timing (`dms_sim::contended_replay`) to report
+//! the II each fabric actually sustains, and [`figp`] another comparing
+//! portfolio scheduler search (`dms_core::SchedulerStrategy`) against the
+//! single deterministic heuristic.
 //!
 //! [`runner`] produces the raw per-loop measurements shared by all figures
 //! (fanning the (loop × cluster-count) grid out across worker threads with
@@ -35,6 +37,7 @@ pub mod ablation;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod figc;
 pub mod figp;
 pub mod figt;
 pub mod report;
@@ -44,6 +47,7 @@ pub use dms_service::ScheduleService;
 pub use fig4::{figure4, Fig4Row};
 pub use fig5::{figure5, Fig5Row};
 pub use fig6::{figure6, Fig6Row};
+pub use figc::{figure_c, FigCRow, FIGC_CLUSTERS, FIGC_TOPOLOGIES};
 pub use figp::{figure_p, FigPRow, FIGP_CLUSTERS};
 pub use figt::{figure_t, FigTRow, FIGT_CLUSTERS, FIGT_TOPOLOGIES};
 pub use runner::{

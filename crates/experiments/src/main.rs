@@ -2,7 +2,7 @@
 //! resident scheduling service.
 //!
 //! ```text
-//! dms-experiments [fig4|fig5|fig6|figT|figP|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]
+//! dms-experiments [fig4|fig5|fig6|figT|figP|figC|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--contention] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]
 //! dms-experiments serve [--addr HOST:PORT] [--shards N]
 //! dms-experiments client [--addr HOST:PORT] [--loops N] [--clusters A,B,C] [--seed S] [--shutdown]
 //! ```
@@ -34,12 +34,20 @@
 //! sweeps stay byte-reproducible for any `--threads`); `figP` runs the
 //! portfolio against the plain heuristic at 2/4/8 clusters with
 //! verification forced on and reports how many loops recover II.
+//! `--contention` additionally replays every verified schedule on the
+//! discrete-event interconnect timing model (`dms_sim::contended_replay`)
+//! and records the *achieved* II — the rate the machine sustains once
+//! cross-cluster transfers serialise on real links — in the measurement
+//! CSV's `achieved_ii` column; `figC` sweeps that replay across all four
+//! interconnects at 2/4/8 clusters (a `--topology` comma list narrows the
+//! set, e.g. `--topology bus,crossbar`) and asks whether figure T's
+//! "bus ≈ crossbar" verdict survives contention-accurate timing.
 
 use dms_experiments::ablation::{chain_policy_ablation, copy_unit_ablation};
 use dms_experiments::report;
 use dms_experiments::{
-    figure4, figure5, figure6, figure_p, figure_t, measure_suite_with_stats, ExperimentConfig,
-    FIGP_CLUSTERS, FIGT_CLUSTERS,
+    figure4, figure5, figure6, figure_c, figure_p, figure_t, measure_suite_with_stats,
+    ExperimentConfig, FIGC_CLUSTERS, FIGC_TOPOLOGIES, FIGP_CLUSTERS, FIGT_CLUSTERS,
 };
 use dms_machine::TopologyKind;
 use dms_sched::SchedulerStrategy;
@@ -52,6 +60,7 @@ enum Command {
     Fig6,
     FigT,
     FigP,
+    FigC,
     Ablation,
     All,
 }
@@ -61,16 +70,19 @@ struct Cli {
     command: Command,
     config: ExperimentConfig,
     csv_dir: Option<String>,
+    /// Interconnects the figC sweep replays (ignored by every other
+    /// command, which uses `config.topology`).
+    figc_topologies: Vec<dms_machine::TopologyKind>,
 }
 
-const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|figT|figP|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]\n       dms-experiments serve [--addr HOST:PORT] [--shards N]\n       dms-experiments client [--addr HOST:PORT] [--loops N] [--clusters A,B,C] [--seed S] [--shutdown]";
+const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|figT|figP|figC|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--contention] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]\n       dms-experiments serve [--addr HOST:PORT] [--shards N]\n       dms-experiments client [--addr HOST:PORT] [--loops N] [--clusters A,B,C] [--seed S] [--shutdown]";
 
 fn parse_args() -> Result<Cli, String> {
     let mut command = Command::All;
     let mut config = ExperimentConfig::paper();
     let mut csv_dir = None;
     let mut clusters_given = false;
-    let mut topology_given = false;
+    let mut topology_arg: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -79,6 +91,7 @@ fn parse_args() -> Result<Cli, String> {
             "fig6" => command = Command::Fig6,
             "figT" | "figt" => command = Command::FigT,
             "figP" | "figp" => command = Command::FigP,
+            "figC" | "figc" => command = Command::FigC,
             "ablation" => command = Command::Ablation,
             "all" => command = Command::All,
             "--loops" => {
@@ -102,15 +115,17 @@ fn parse_args() -> Result<Cli, String> {
                 clusters_given = true;
             }
             "--topology" => {
-                let v = args.next().ok_or("--topology needs a value")?;
-                config.topology = TopologyKind::parse(&v)?;
-                topology_given = true;
+                // Resolved after the loop: figC accepts a comma list, every
+                // other command a single interconnect, and figT none at all
+                // — and the command keyword may come later in the argv.
+                topology_arg = Some(args.next().ok_or("--topology needs a value")?);
             }
             "--strategy" => {
                 let v = args.next().ok_or("--strategy needs a value")?;
                 config.dms.strategy = SchedulerStrategy::parse(&v)?;
             }
             "--verify" => config.verify = true,
+            "--contention" => config.contention = true,
             "--cqrf-capacity" => {
                 let v = args.next().ok_or("--cqrf-capacity needs a value")?;
                 config.cqrf_capacity =
@@ -128,12 +143,34 @@ fn parse_args() -> Result<Cli, String> {
     // unless the user picked an explicit grid — and always sweeps all four
     // interconnects, so a --topology override would be silently ignored.
     if command == Command::FigT {
-        if topology_given {
+        if topology_arg.is_some() {
             return Err("figT sweeps every topology; --topology does not apply".to_string());
         }
         if !clusters_given {
             config.cluster_counts = FIGT_CLUSTERS.to_vec();
         }
+    }
+    // Figure C replays the same four interconnects at the same cluster
+    // points; a --topology comma list narrows the sweep (CI smoke runs
+    // `--topology bus,crossbar`). Other commands take exactly one.
+    let mut figc_topologies = FIGC_TOPOLOGIES.to_vec();
+    if let Some(v) = &topology_arg {
+        if command == Command::FigC {
+            figc_topologies = v
+                .split(',')
+                .map(|t| TopologyKind::parse(t.trim()))
+                .collect::<Result<Vec<TopologyKind>, String>>()?;
+            if figc_topologies.is_empty() {
+                return Err("--topology needs at least one interconnect".to_string());
+            }
+        } else if v.contains(',') {
+            return Err("a comma-separated --topology list only applies to figC".to_string());
+        } else {
+            config.topology = TopologyKind::parse(v)?;
+        }
+    }
+    if command == Command::FigC && !clusters_given {
+        config.cluster_counts = FIGC_CLUSTERS.to_vec();
     }
     // Figure P compares the portfolio against its embedded baseline at the
     // same 2/4/8-cluster points unless the user picked an explicit grid.
@@ -151,7 +188,7 @@ fn parse_args() -> Result<Cli, String> {
             };
         }
     }
-    Ok(Cli { command, config, csv_dir })
+    Ok(Cli { command, config, csv_dir, figc_topologies })
 }
 
 fn write_csv(dir: &str, name: &str, contents: &str) {
@@ -292,6 +329,7 @@ fn drive_service(
                 scheduler: dms_service::SchedulerKind::Dms,
                 dms: dms_core::DmsConfig::default(),
                 verify_trips: None,
+                contention: false,
             });
             let line = client.roundtrip(&request).map_err(io)?;
             let resp = Json::parse(&line)?;
@@ -414,6 +452,38 @@ fn main() -> ExitCode {
         let failed: usize = stats.iter().map(|(_, s)| s.failed).sum();
         if failed > 0 {
             eprintln!("error: {failed} task(s) failed end-to-end verification");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if cli.command == Command::FigC {
+        let (rows, raw, stats) = figure_c(&cli.config, &cli.figc_topologies);
+        for (kind, s) in &stats {
+            println!(
+                "{kind}: swept {} tasks on {} thread(s) in {:.2} s — {} store values verified, \
+                 {} pressure retries, {} failed",
+                s.tasks, s.threads, s.wall_seconds, s.stores_verified, s.pressure_retries, s.failed
+            );
+        }
+        println!();
+        println!("{}", report::render_figc(&rows));
+        if let Some(dir) = &cli.csv_dir {
+            write_csv(dir, "figureC.csv", &report::figc_csv(&rows));
+            write_csv(dir, "measurementsC.csv", &report::measurements_csv(&raw));
+        }
+        // Figure C always verifies: any failed task is a compiler bug.
+        let failed: usize = stats.iter().map(|(_, s)| s.failed).sum();
+        if failed > 0 {
+            eprintln!("error: {failed} task(s) failed end-to-end verification");
+            return ExitCode::FAILURE;
+        }
+        // The replay only adds stalls, so an achieved II below the
+        // scheduled II is a timing-model bug: gate on it here so the
+        // nightly paper-scale run fails loudly.
+        let impossible = raw.iter().filter(|m| m.achieved_ii < m.clustered_ii).count();
+        if impossible > 0 {
+            eprintln!("error: {impossible} replay(s) undercut the scheduled II");
             return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;

@@ -4,6 +4,7 @@ use crate::ablation::AblationResult;
 use crate::fig4::{claim_no_overhead_up_to_8_clusters, Fig4Row};
 use crate::fig5::Fig5Row;
 use crate::fig6::{claim_ipc_trends, Fig6Row};
+use crate::figc::FigCRow;
 use crate::figp::FigPRow;
 use crate::figt::FigTRow;
 use crate::runner::LoopMeasurement;
@@ -19,12 +20,13 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
         "loop_id,set2,clusters,useful_ops,trip_count,unclustered_ii,clustered_ii,\
          unclustered_mii,clustered_mii,unclustered_cycles,clustered_cycles,\
          copies,moves,strategy2,strategy3,verified_stores,pressure_retries,\
-         first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii,cache_hit\n",
+         first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii,cache_hit,\
+         achieved_ii\n",
     );
     for m in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             m.loop_id,
             m.set2,
             m.clusters,
@@ -48,7 +50,8 @@ pub fn measurements_csv(rows: &[LoopMeasurement]) -> String {
             m.strategy,
             m.candidates,
             m.baseline_ii,
-            m.cache_hit
+            m.cache_hit,
+            m.achieved_ii
         );
     }
     out
@@ -212,6 +215,66 @@ pub fn figt_csv(rows: &[FigTRow]) -> String {
             r.mean_overhead,
             r.mean_moves,
             r.pressure_retries,
+            r.verified_stores
+        );
+    }
+    out
+}
+
+/// Renders figure C as an aligned text table.
+pub fn render_figc(rows: &[FigCRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure C — achieved II under contention replay (verified)");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>6} {:>13} {:>13} {:>12} {:>13} {:>12} {:>15}",
+        "topology",
+        "clusters",
+        "loops",
+        "sched noOv(%)",
+        "achvd noOv(%)",
+        "contended(%)",
+        "mean slow(%)",
+        "max slow(%)",
+        "verified stores"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>6} {:>13.1} {:>13.1} {:>12.1} {:>13.2} {:>12.1} {:>15}",
+            r.topology,
+            r.clusters,
+            r.loops,
+            r.percent_no_overhead_scheduled,
+            r.percent_no_overhead_achieved,
+            r.percent_contended,
+            100.0 * r.mean_slowdown,
+            100.0 * r.max_slowdown,
+            r.verified_stores
+        );
+    }
+    out
+}
+
+/// Figure C as CSV.
+pub fn figc_csv(rows: &[FigCRow]) -> String {
+    let mut out = String::from(
+        "topology,clusters,loops,percent_no_overhead_scheduled,\
+         percent_no_overhead_achieved,percent_contended,mean_slowdown,\
+         max_slowdown,verified_stores\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.4},{:.4},{:.4},{:.6},{:.6},{}",
+            r.topology,
+            r.clusters,
+            r.loops,
+            r.percent_no_overhead_scheduled,
+            r.percent_no_overhead_achieved,
+            r.percent_contended,
+            r.mean_slowdown,
+            r.max_slowdown,
             r.verified_stores
         );
     }
@@ -421,6 +484,7 @@ mod tests {
             candidates: 7,
             baseline_ii: 4,
             cache_hit: false,
+            achieved_ii: 5,
         };
         let csv = measurements_csv(&[m]);
         let mut lines = csv.lines();
@@ -428,13 +492,43 @@ mod tests {
         assert!(header.starts_with("loop_id,set2,clusters"));
         assert!(header.ends_with(
             "pressure_retries,first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii,\
-             cache_hit"
+             cache_hit,achieved_ii"
         ));
         assert_eq!(
             lines.next().unwrap(),
-            "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128,1,2,4,ring,portfolio:8:50,7,4,false"
+            "3,true,4,12,100,2,3,2,3,230,330,5,1,2,0,128,1,2,4,ring,portfolio:8:50,7,4,false,5"
         );
         assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn figc_rendering_and_csv_are_exact() {
+        let rows = vec![FigCRow {
+            topology: "bus".to_string(),
+            clusters: 8,
+            loops: 1258,
+            percent_no_overhead_scheduled: 88.6,
+            percent_no_overhead_achieved: 71.2,
+            percent_contended: 22.5,
+            mean_slowdown: 0.031,
+            max_slowdown: 0.5,
+            verified_stores: 654321,
+        }];
+        let text = render_figc(&rows);
+        assert!(text.contains("Figure C"));
+        assert!(text.contains("bus"));
+        let csv = figc_csv(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "topology,clusters,loops,percent_no_overhead_scheduled,\
+             percent_no_overhead_achieved,percent_contended,mean_slowdown,\
+             max_slowdown,verified_stores"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "bus,8,1258,88.6000,71.2000,22.5000,0.031000,0.500000,654321"
+        );
     }
 
     #[test]

@@ -68,6 +68,13 @@ pub struct ExperimentConfig {
     /// default). The unclustered reference machine has a single cluster and
     /// is unaffected.
     pub topology: TopologyKind,
+    /// Additionally replay every verified DMS schedule under the
+    /// topology's transfer-bandwidth model (`dms_sim::contended_replay`)
+    /// and record the achieved II in [`LoopMeasurement::achieved_ii`].
+    /// Implies end-to-end verification: the replay only runs on a
+    /// functionally verified schedule, so a contention sweep verifies even
+    /// when `verify` is false.
+    pub contention: bool,
 }
 
 /// Iterations executed per schedule in verify mode. Enough to fill and
@@ -89,6 +96,7 @@ impl ExperimentConfig {
             verify: false,
             cqrf_capacity: None,
             topology: TopologyKind::Ring,
+            contention: false,
         }
     }
 
@@ -172,6 +180,12 @@ pub struct LoopMeasurement {
     /// `false` on a cold sweep; a warm re-run of the same sweep against a
     /// resident service flips every row to `true`.
     pub cache_hit: bool,
+    /// Steady-state II of the clustered schedule measured by the
+    /// contention-accurate replay (always `>= clustered_ii`;
+    /// `== clustered_ii` exactly when the schedule's communication fits
+    /// the interconnect's bandwidth). 0 when the sweep ran without
+    /// `--contention` — idealised rows are unchanged.
+    pub achieved_ii: u32,
 }
 
 impl LoopMeasurement {
@@ -295,7 +309,8 @@ fn measure_body(
 ) -> Option<LoopMeasurement> {
     let clustered_machine = clustered_machine(clusters, config);
     let unclustered_machine = MachineConfig::unclustered(clusters);
-    let verify_trips = config.verify.then(|| body.trip_count.min(VERIFY_TRIP_CAP));
+    let verify_trips =
+        (config.verify || config.contention).then(|| body.trip_count.min(VERIFY_TRIP_CAP));
 
     // A schedule or verification failure is a compiler bug; the task is
     // dropped here and counted as failed by the sweep stats.
@@ -306,6 +321,9 @@ fn measure_body(
             dms: DmsConfig::default(),
             scheduler: SchedulerKind::Ims,
             verify_trips,
+            // The unclustered reference machine has no interconnect to
+            // contend on; its replay would be a no-op.
+            contention: false,
         })
         .ok()?;
     let dms_cfg = DmsConfig { ii_seed, ..config.dms };
@@ -316,6 +334,7 @@ fn measure_body(
             dms: dms_cfg,
             scheduler: SchedulerKind::Dms,
             verify_trips,
+            contention: config.contention,
         })
         .ok()?;
 
@@ -353,6 +372,7 @@ fn measure_body(
         candidates: dms.candidates_run,
         baseline_ii: dms.baseline_ii,
         cache_hit: ims_resp.cache_hit && dms_resp.cache_hit,
+        achieved_ii: dms_resp.verify.map_or(0, |d| d.achieved_ii),
     })
 }
 

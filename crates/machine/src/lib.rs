@@ -32,4 +32,4 @@ pub use config::{ClusterFus, MachineConfig};
 pub use fu::FuKind;
 pub use mrt::{Mrt, MrtError, Placement};
 pub use queues::{CqrfId, QueueFile};
-pub use topology::{ClusterId, TopoPath, Topology, TopologyKind};
+pub use topology::{ClusterId, TopoPath, Topology, TopologyKind, TransferModel};

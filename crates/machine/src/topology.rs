@@ -111,6 +111,36 @@ impl TopologyKind {
     }
 }
 
+/// How an interconnect serialises concurrent cross-cluster transfers.
+///
+/// Derived from [`TopologyKind`] by [`Topology::transfer_model`]; the
+/// per-link slot count comes from [`Topology::link_capacity`]. The variants
+/// deliberately mirror the three bandwidth regimes of the figT topology
+/// sweep: a dedicated path per pair (crossbar), a single shared medium
+/// (bus) and point-to-point links (ring / chordal ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferModel {
+    /// Every (writer, reader) pair has a dedicated path: transfers never
+    /// wait for bandwidth.
+    Unconstrained,
+    /// One transaction per cycle across *all* writers; a written value is
+    /// broadcast, so one transaction serves all its readers.
+    SharedMedium,
+    /// One transfer per directed link per cycle; distinct links are
+    /// independent.
+    PerLink,
+}
+
+impl fmt::Display for TransferModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransferModel::Unconstrained => "unconstrained",
+            TransferModel::SharedMedium => "shared-medium",
+            TransferModel::PerLink => "per-link",
+        })
+    }
+}
+
 impl fmt::Display for TopologyKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.label())
@@ -408,6 +438,50 @@ impl Topology {
         }
     }
 
+    /// How this interconnect serialises concurrent transfers — the
+    /// declarative bandwidth surface consumed by the contention-accurate
+    /// replay (`dms-sim`'s `contention` module).
+    ///
+    /// The scheduler and the idealised executor only model queue *storage*
+    /// sharing; this model adds transfer *bandwidth*: how many values can
+    /// be in flight per cycle, and on what granularity they contend.
+    pub fn transfer_model(&self) -> TransferModel {
+        match self.kind {
+            // A full crossbar has a dedicated path per (writer, reader)
+            // pair; transfers never contend.
+            TopologyKind::Crossbar => TransferModel::Unconstrained,
+            // A single shared medium: one transaction per cycle across
+            // all writers. A write is a broadcast, so one transaction
+            // serves every reader of the value.
+            TopologyKind::Bus => TransferModel::SharedMedium,
+            // Point-to-point links: one transfer per directed link per
+            // cycle; distinct links move values concurrently.
+            TopologyKind::Ring | TopologyKind::ChordalRing { .. } => TransferModel::PerLink,
+        }
+    }
+
+    /// Transfer slots per cycle on the directed link `writer -> reader`,
+    /// or `None` when the pair does not contend for bandwidth (same
+    /// cluster — the value stays in the LRF — or an unconstrained
+    /// crossbar path). Pairs that are not directly connected also return
+    /// `None`: multi-hop routes are realised as chains of scheduled move
+    /// operations, each hop a single-hop transfer on its own link, so a
+    /// `distance`-hop value occupies its route for `distance` cycles
+    /// link by link rather than through a composite resource here.
+    ///
+    /// On a bus the "link" is the shared medium itself: every connected
+    /// pair reports the same single slot, and the replay maps all of them
+    /// onto one resource via [`Topology::transfer_model`].
+    pub fn link_capacity(&self, writer: ClusterId, reader: ClusterId) -> Option<u32> {
+        if writer == reader || !self.directly_connected(writer, reader) {
+            return None;
+        }
+        match self.transfer_model() {
+            TransferModel::Unconstrained => None,
+            TransferModel::SharedMedium | TransferModel::PerLink => Some(1),
+        }
+    }
+
     /// Enumerates every communication queue file of the topology, sorted.
     /// A single-cluster machine has none.
     pub fn queue_files(&self) -> Vec<CqrfId> {
@@ -445,6 +519,40 @@ mod tests {
 
     fn chordal(clusters: u32, chord: u32) -> Topology {
         Topology::new(TopologyKind::ChordalRing { chord }, clusters)
+    }
+
+    #[test]
+    fn transfer_models_match_their_topology_family() {
+        assert_eq!(Topology::ring(4).transfer_model(), TransferModel::PerLink);
+        assert_eq!(chordal(8, 2).transfer_model(), TransferModel::PerLink);
+        assert_eq!(
+            Topology::new(TopologyKind::Bus, 4).transfer_model(),
+            TransferModel::SharedMedium
+        );
+        assert_eq!(
+            Topology::new(TopologyKind::Crossbar, 4).transfer_model(),
+            TransferModel::Unconstrained
+        );
+        assert_eq!(TransferModel::SharedMedium.to_string(), "shared-medium");
+    }
+
+    #[test]
+    fn link_capacity_is_one_slot_on_constrained_links_and_none_elsewhere() {
+        let ring = Topology::ring(6);
+        assert_eq!(ring.link_capacity(ClusterId(0), ClusterId(1)), Some(1));
+        assert_eq!(ring.link_capacity(ClusterId(0), ClusterId(5)), Some(1));
+        // same cluster: LRF traffic, no link
+        assert_eq!(ring.link_capacity(ClusterId(0), ClusterId(0)), None);
+        // not directly connected: realised as move chains, hop by hop
+        assert_eq!(ring.link_capacity(ClusterId(0), ClusterId(3)), None);
+
+        let bus = Topology::new(TopologyKind::Bus, 6);
+        assert_eq!(bus.link_capacity(ClusterId(0), ClusterId(3)), Some(1));
+        assert_eq!(bus.link_capacity(ClusterId(4), ClusterId(1)), Some(1));
+
+        let xbar = Topology::new(TopologyKind::Crossbar, 6);
+        assert_eq!(xbar.link_capacity(ClusterId(0), ClusterId(3)), None);
+        assert_eq!(xbar.link_capacity(ClusterId(2), ClusterId(5)), None);
     }
 
     #[test]

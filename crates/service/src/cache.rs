@@ -11,11 +11,20 @@
 //! The shard count is a pure performance knob: results never depend on it
 //! (a regression test in the workspace pins 1-shard vs 8-shard sweeps to
 //! byte-identical CSV).
+//!
+//! **Poisoned shards are recovered, not propagated.** A panicking scheduler
+//! thread poisons whatever shard mutex it held; unwrapping the poison would
+//! turn one bad request into a permanently dead resident service. Entries
+//! are insert-once keep-first — a lookup never observes a half-written
+//! entry because the `Vec` push is the last thing an insert does and
+//! clones are taken under the lock — so the map behind a poisoned mutex is
+//! still consistent and every accessor simply takes the guard back with
+//! [`PoisonError::into_inner`].
 
 use crate::hash::CacheKey;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Snapshot of the cache's activity counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,7 +74,7 @@ impl<V: Clone> ShardedCache<V> {
     /// Looks up the entry for `key` whose guard matches exactly, counting a
     /// hit or a miss.
     pub fn lookup(&self, key: &CacheKey, guard: u64) -> Option<V> {
-        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        let shard = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
         let found = shard
             .get(key)
             .and_then(|entries| entries.iter().find(|(g, _)| *g == guard))
@@ -83,7 +92,7 @@ impl<V: Clone> ShardedCache<V> {
     /// workers computed it from identical inputs through a deterministic
     /// pipeline, so the values are identical and the first stays.
     pub fn insert(&self, key: CacheKey, guard: u64, value: V) {
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(&key).lock().unwrap_or_else(PoisonError::into_inner);
         let entries = shard.entry(key).or_default();
         if entries.iter().any(|(g, _)| *g == guard) {
             return;
@@ -97,7 +106,13 @@ impl<V: Clone> ShardedCache<V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").values().map(Vec::len).sum::<usize>())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -162,5 +177,31 @@ mod tests {
     fn zero_shards_is_clamped() {
         let cache: ShardedCache<u32> = ShardedCache::new(0);
         assert_eq!(cache.num_shards(), 1);
+    }
+
+    #[test]
+    fn a_poisoned_shard_keeps_serving_lookups_inserts_and_len() {
+        let cache: ShardedCache<u32> = ShardedCache::new(1);
+        let k = key(3, 4);
+        cache.insert(k, 1, 11);
+
+        // Poison the single shard: a thread panics while holding its lock
+        // (exactly what a panicking scheduler worker would do mid-insert).
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = cache.shards[0].lock().unwrap();
+                panic!("poison the shard");
+            });
+            assert!(handle.join().is_err(), "the poisoning thread must have panicked");
+        });
+        assert!(cache.shards[0].is_poisoned());
+
+        // Every accessor recovers the guard instead of propagating the
+        // panic: the pre-poison entry survives and new inserts land.
+        assert_eq!(cache.lookup(&k, 1), Some(11));
+        let k2 = key(5, 6);
+        cache.insert(k2, 2, 22);
+        assert_eq!(cache.lookup(&k2, 2), Some(22));
+        assert_eq!(cache.len(), 2);
     }
 }

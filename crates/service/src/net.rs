@@ -6,6 +6,13 @@
 //! stops the accept loop; the acceptor is unblocked by a self-connect so a
 //! plain blocking `accept()` suffices.
 //!
+//! Handler threads poll their stream with a read timeout
+//! (`READ_POLL_INTERVAL`, 50 ms) instead of blocking indefinitely: `serve`'s
+//! `thread::scope` joins every handler before returning, so a handler
+//! parked forever in a blocking read on an *idle* connection would turn one
+//! quiet client into a shutdown that never completes. On every timeout the
+//! handler re-checks the shutdown flag and hangs up once it is set.
+//!
 //! [`Client`] is the matching blocking connector used by the
 //! `dms-experiments client` smoke driver and the CI service-smoke job.
 
@@ -47,6 +54,11 @@ pub fn serve(addr: impl ToSocketAddrs, service: Arc<ScheduleService>) -> std::io
     Ok(())
 }
 
+/// How often an idle handler thread wakes up to re-check the shutdown
+/// flag. Shutdown latency is bounded by this; it only ever costs a flag
+/// load per idle connection per interval.
+const READ_POLL_INTERVAL: Duration = Duration::from_millis(50);
+
 fn handle_connection(
     stream: TcpStream,
     service: &ScheduleService,
@@ -57,13 +69,39 @@ fn handle_connection(
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    if stream.set_read_timeout(Some(READ_POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    // Not `reader.lines()`: with a read timeout a line may arrive in
+    // pieces, and `read_line` appends whatever bytes preceded the timeout
+    // to `line`. Keep the accumulator across timeouts and only clear it
+    // after a *complete* line is processed.
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client hung up
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle (or a partly received line): hang up if a shutdown
+                // arrived on another connection, otherwise keep waiting.
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
         if line.trim().is_empty() {
+            line.clear();
             continue;
         }
-        let reply = match wire::decode_request(&line) {
+        let reply = match wire::decode_request(line.trim()) {
             Err(e) => wire::encode_error(&e),
             Ok(wire::WireRequest::Stats) => {
                 wire::encode_stats_response(service.cache_stats(), service.cache_len())
@@ -83,10 +121,12 @@ fn handle_connection(
                     dms: ws.dms,
                     scheduler: ws.scheduler,
                     verify_trips: ws.verify_trips,
+                    contention: ws.contention,
                 };
                 wire::encode_response(&service.schedule(&request))
             }
         };
+        line.clear();
         if writer.write_all(reply.as_bytes()).is_err()
             || writer.write_all(b"\n").is_err()
             || writer.flush().is_err()
@@ -190,6 +230,7 @@ mod tests {
             scheduler: SchedulerKind::Dms,
             dms: DmsConfig::default(),
             verify_trips: Some(32),
+            contention: false,
         });
 
         let cold = Json::parse(&client.roundtrip(&request).unwrap()).unwrap();
@@ -228,6 +269,61 @@ mod tests {
         assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
 
         client.roundtrip(&wire::encode_shutdown_request()).unwrap();
+        handle.join().unwrap();
+    }
+
+    /// Regression test for the shutdown hang: a second connection that
+    /// never sends anything must not keep `serve` from returning after a
+    /// shutdown request on the first. Before handler threads polled with a
+    /// read timeout, the idle handler blocked forever in its read and the
+    /// serve scope joined it forever.
+    #[test]
+    fn shutdown_returns_even_with_an_idle_second_connection() {
+        let (addr, handle) = spawn_server();
+        let mut active = Client::connect_with_retry(&addr.to_string()).unwrap();
+        // An idle connection: opened, never written to, kept alive until
+        // after serve has returned.
+        let idle = TcpStream::connect(addr).unwrap();
+
+        let started = std::time::Instant::now();
+        let bye =
+            Json::parse(&active.roundtrip(&wire::encode_shutdown_request()).unwrap()).unwrap();
+        assert_eq!(bye.get("shutdown").and_then(Json::as_bool), Some(true));
+        handle.join().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "serve took {:?} to return after shutdown with an idle connection",
+            started.elapsed()
+        );
+        drop(idle);
+    }
+
+    /// A request line delivered byte-by-byte across many poll timeouts
+    /// must still be parsed as one line (the handler keeps its partial
+    /// read across `WouldBlock`/`TimedOut`).
+    #[test]
+    fn slowly_trickled_requests_survive_read_timeouts() {
+        let (addr, handle) = spawn_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = wire::encode_stats_request();
+        let (head, tail) = request.split_at(request.len() / 2);
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        // Longer than the poll interval: the handler times out mid-line.
+        std::thread::sleep(READ_POLL_INTERVAL * 3);
+        stream.write_all(tail.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let parsed = Json::parse(reply.trim()).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+
+        stream.write_all(wire::encode_shutdown_request().as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
         handle.join().unwrap();
     }
 }

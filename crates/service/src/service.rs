@@ -23,7 +23,7 @@ use dms_core::{dms_schedule, DmsConfig, ScheduleOutcome};
 use dms_ir::{canonical_hash, Loop};
 use dms_machine::MachineConfig;
 use dms_sched::{ims_schedule, ImsConfig, ScheduleError, ScheduleResult};
-use dms_sim::verify_schedule;
+use dms_sim::{replay_schedule, verify_schedule};
 use std::fmt;
 
 /// Which scheduler a request runs.
@@ -58,6 +58,11 @@ pub struct ScheduleRequest<'a> {
     /// schedule, so warm requests skip re-verification. A verification
     /// failure fails the request.
     pub verify_trips: Option<u64>,
+    /// Additionally replay the emitted program under the topology's
+    /// transfer-bandwidth model ([`dms_sim::contended_replay`]) and report
+    /// the achieved II in the verify digest. Requires `verify_trips` (the
+    /// replay runs over the same trip count); ignored without it.
+    pub contention: bool,
 }
 
 /// Digest of a successful end-to-end verification, small enough to cache
@@ -68,6 +73,10 @@ pub struct VerifyDigest {
     pub stores_checked: u64,
     /// Largest CQRF stream occupancy reached while executing the schedule.
     pub max_queue_depth: u64,
+    /// Steady-state II measured by the contention-accurate replay
+    /// (`>=` the scheduled II), or 0 when the request did not ask for
+    /// contention timing.
+    pub achieved_ii: u32,
 }
 
 /// The scheduler output carried by a response: IMS produces a plain
@@ -213,9 +222,21 @@ impl ScheduleService {
             Some(trips) => {
                 let report = verify_schedule(req.body, output.result(), req.machine, trips)
                     .map_err(|e| ServiceError::Verify(format!("{e:?}")))?;
+                // The replay only runs on a functionally verified schedule:
+                // its timing is meaningless for a program whose values are
+                // wrong, and the verify above has already emitted and
+                // executed the very program being replayed.
+                let achieved_ii = if req.contention {
+                    replay_schedule(output.result(), req.machine, trips)
+                        .map_err(|e| ServiceError::Verify(format!("contention replay: {e:?}")))?
+                        .achieved_ii
+                } else {
+                    0
+                };
                 Some(VerifyDigest {
                     stores_checked: report.stores_checked,
                     max_queue_depth: report.max_queue_depth,
+                    achieved_ii,
                 })
             }
         };
@@ -247,6 +268,9 @@ fn cache_key(req: &ScheduleRequest<'_>) -> CacheKey {
             ctx.word(trips);
         }
     }
+    // A contention request carries an extra digest field, so it must not
+    // hit a plain verified entry (and vice versa).
+    ctx.word(u64::from(req.contention));
     CacheKey { canon: canonical_hash(&req.body.ddg), context: ctx.finish() }
 }
 
@@ -262,7 +286,29 @@ mod tests {
             dms: DmsConfig::default(),
             scheduler: SchedulerKind::Dms,
             verify_trips: None,
+            contention: false,
         }
+    }
+
+    #[test]
+    fn contention_requests_measure_achieved_ii_and_do_not_hit_plain_entries() {
+        let service = ScheduleService::default();
+        let fir = kernels::fir(8, 64);
+        let machine = MachineConfig::paper_clustered(4);
+        let plain = ScheduleRequest { verify_trips: Some(64), ..dms_request(&fir, &machine) };
+        let contended = ScheduleRequest { contention: true, ..plain };
+
+        let cold = service.schedule(&plain).unwrap();
+        assert_eq!(cold.verify.unwrap().achieved_ii, 0, "no replay without contention");
+
+        let timed = service.schedule(&contended).unwrap();
+        assert!(!timed.cache_hit, "a contention request must not hit a plain verified entry");
+        let digest = timed.verify.unwrap();
+        assert!(digest.achieved_ii >= cold.output.result().ii());
+
+        let warm = service.schedule(&contended).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.verify, Some(digest), "the achieved II is cached with the digest");
     }
 
     #[test]

@@ -419,6 +419,10 @@ pub struct WireSchedule {
     pub dms: DmsConfig,
     /// Verification trip count, if the request asks to verify.
     pub verify_trips: Option<u64>,
+    /// Whether to replay the verified program under the topology's
+    /// transfer-bandwidth model and report the achieved II (requires
+    /// `verify_trips`).
+    pub contention: bool,
 }
 
 /// A decoded request line.
@@ -566,6 +570,7 @@ pub fn encode_schedule_request(ws: &WireSchedule) -> String {
         ("strategy".to_string(), Json::Str(ws.dms.strategy.label())),
         ("ii_seed".to_string(), opt_num(ws.dms.ii_seed)),
         ("verify_trips".to_string(), opt_num(ws.verify_trips.map(|t| t as i64))),
+        ("contention".to_string(), Json::Bool(ws.contention)),
     ])
     .render()
 }
@@ -612,6 +617,7 @@ pub fn encode_response(result: &Result<ScheduleResponse, ServiceError>) -> Strin
                 Some(d) => Json::Obj(vec![
                     ("stores_checked".to_string(), Json::Num(d.stores_checked as i64)),
                     ("max_queue_depth".to_string(), Json::Num(d.max_queue_depth as i64)),
+                    ("achieved_ii".to_string(), Json::Num(i64::from(d.achieved_ii))),
                 ]),
             };
             Json::Obj(vec![
@@ -664,6 +670,13 @@ pub fn encode_error(message: &str) -> String {
 // Decoding
 // ---------------------------------------------------------------------------
 
+/// Narrows a parsed `u64` into the `u32` the model stores, rejecting (with
+/// the field's name in the error) instead of silently truncating a huge
+/// value into a valid-looking small one.
+fn narrow_u32(value: u64, field: &str) -> Result<u32, String> {
+    u32::try_from(value).map_err(|_| format!("{field} {value} does not fit in 32 bits"))
+}
+
 fn decode_operand(json: &Json) -> Result<Operand, String> {
     let arr = json.as_arr().ok_or("operand must be an array")?;
     let tag = arr.first().and_then(Json::as_str).ok_or("operand needs a tag")?;
@@ -671,11 +684,14 @@ fn decode_operand(json: &Json) -> Result<Operand, String> {
         "def" => {
             let op = arr.get(1).and_then(Json::as_u64).ok_or("def needs a producer slot")?;
             let distance = arr.get(2).and_then(Json::as_u64).ok_or("def needs a distance")?;
-            Ok(Operand::Def { op: OpId(op as u32), distance: distance as u32 })
+            Ok(Operand::Def {
+                op: OpId(narrow_u32(op, "operand producer slot")?),
+                distance: narrow_u32(distance, "operand distance")?,
+            })
         }
         "inv" => {
             let i = arr.get(1).and_then(Json::as_u64).ok_or("inv needs an index")?;
-            Ok(Operand::Invariant(i as u32))
+            Ok(Operand::Invariant(narrow_u32(i, "invariant index")?))
         }
         "imm" => {
             let v = arr.get(1).and_then(Json::as_i64).ok_or("imm needs a value")?;
@@ -734,8 +750,10 @@ pub fn decode_loop(json: &Json) -> Result<Loop, String> {
         let src = live(e[0].as_u64().ok_or("edge src must be a slot")?)?;
         let dst = live(e[1].as_u64().ok_or("edge dst must be a slot")?)?;
         let kind = dep_kind_parse(e[2].as_str().ok_or("edge kind must be a string")?)?;
-        let latency = e[3].as_u64().ok_or("edge latency must be a number")? as u32;
-        let distance = e[4].as_u64().ok_or("edge distance must be a number")? as u32;
+        let latency =
+            narrow_u32(e[3].as_u64().ok_or("edge latency must be a number")?, "edge latency")?;
+        let distance =
+            narrow_u32(e[4].as_u64().ok_or("edge distance must be a number")?, "edge distance")?;
         ddg.add_edge(DepEdge { src, dst, kind, latency, distance });
     }
     for t in tombstones {
@@ -748,14 +766,20 @@ pub fn decode_loop(json: &Json) -> Result<Loop, String> {
 fn decode_machine(json: &Json) -> Result<WireMachine, String> {
     Ok(WireMachine {
         unclustered: json.get("unclustered").and_then(Json::as_bool).unwrap_or(false),
-        clusters: json
-            .get("clusters")
-            .and_then(Json::as_u64)
-            .ok_or("machine needs a clusters count")? as u32,
-        copy_units: json.get("copy_units").and_then(Json::as_u64).unwrap_or(1) as u32,
+        clusters: narrow_u32(
+            json.get("clusters").and_then(Json::as_u64).ok_or("machine needs a clusters count")?,
+            "machine clusters",
+        )?,
+        copy_units: narrow_u32(
+            json.get("copy_units").and_then(Json::as_u64).unwrap_or(1),
+            "machine copy_units",
+        )?,
         cqrf_capacity: match json.get("cqrf_capacity") {
             None | Some(Json::Null) => None,
-            Some(v) => Some(v.as_u64().ok_or("cqrf_capacity must be a number or null")? as u32),
+            Some(v) => Some(narrow_u32(
+                v.as_u64().ok_or("cqrf_capacity must be a number or null")?,
+                "machine cqrf_capacity",
+            )?),
         },
         topology: match json.get("topology") {
             None | Some(Json::Null) => TopologyKind::Ring,
@@ -787,11 +811,18 @@ pub fn decode_request(line: &str) -> Result<WireRequest, String> {
                 dms.strategy = SchedulerStrategy::parse(s)?;
             }
             if let Some(seed) = json.get("ii_seed").filter(|v| !v.is_null()) {
-                dms.ii_seed = Some(seed.as_u64().ok_or("ii_seed must be a number or null")? as u32);
+                dms.ii_seed = Some(narrow_u32(
+                    seed.as_u64().ok_or("ii_seed must be a number or null")?,
+                    "ii_seed",
+                )?);
             }
             let verify_trips = match json.get("verify_trips") {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(v.as_u64().ok_or("verify_trips must be a number or null")?),
+            };
+            let contention = match json.get("contention") {
+                None | Some(Json::Null) => false,
+                Some(v) => v.as_bool().ok_or("contention must be a boolean or null")?,
             };
             Ok(WireRequest::Schedule(Box::new(WireSchedule {
                 body,
@@ -799,6 +830,7 @@ pub fn decode_request(line: &str) -> Result<WireRequest, String> {
                 scheduler,
                 dms,
                 verify_trips,
+                contention,
             })))
         }
         Some(other) => Err(format!("unknown op {other:?}")),
@@ -868,6 +900,7 @@ mod tests {
             scheduler: SchedulerKind::Dms,
             dms: DmsConfig { ii_seed: Some(3), ..DmsConfig::default() },
             verify_trips: Some(32),
+            contention: true,
         };
         let line = encode_schedule_request(&ws);
         let WireRequest::Schedule(decoded) = decode_request(&line).unwrap() else {
@@ -878,7 +911,114 @@ mod tests {
         assert_eq!(decoded.dms.ii_seed, Some(3));
         assert_eq!(decoded.dms.strategy, ws.dms.strategy);
         assert_eq!(decoded.verify_trips, Some(32));
+        assert!(decoded.contention);
         assert_eq!(decoded.body.name, ws.body.name);
+    }
+
+    #[test]
+    fn contention_defaults_to_false_and_rejects_non_booleans() {
+        let fir = kernels::fir(4, 32);
+        let ws = WireSchedule {
+            body: fir,
+            machine: WireMachine {
+                unclustered: false,
+                clusters: 2,
+                copy_units: 1,
+                cqrf_capacity: None,
+                topology: TopologyKind::Ring,
+            },
+            scheduler: SchedulerKind::Dms,
+            dms: DmsConfig::default(),
+            verify_trips: None,
+            contention: false,
+        };
+        // strip the "contention" member entirely: older clients omit it
+        let line = encode_schedule_request(&ws).replace(",\"contention\":false", "");
+        assert!(!line.contains("contention"));
+        let WireRequest::Schedule(decoded) = decode_request(&line).unwrap() else {
+            panic!("expected a schedule request");
+        };
+        assert!(!decoded.contention, "a missing contention member must default to false");
+
+        let bad =
+            encode_schedule_request(&decoded).replace("\"contention\":false", "\"contention\":7");
+        let err = decode_request(&bad).unwrap_err();
+        assert!(err.contains("contention"), "{err}");
+    }
+
+    /// Every `u64 -> u32` narrowing site must reject an oversized value
+    /// with an error naming the field, instead of silently truncating it
+    /// into a valid-looking request.
+    #[test]
+    fn oversized_u32_fields_are_rejected_with_positioned_errors() {
+        let huge = (u64::from(u32::MAX) + 1).to_string();
+        let fir = kernels::fir(4, 32);
+        let ws = WireSchedule {
+            body: fir,
+            machine: WireMachine {
+                unclustered: false,
+                clusters: 4,
+                copy_units: 1,
+                cqrf_capacity: Some(16),
+                topology: TopologyKind::Ring,
+            },
+            scheduler: SchedulerKind::Dms,
+            dms: DmsConfig { ii_seed: Some(3), ..DmsConfig::default() },
+            verify_trips: Some(8),
+            contention: false,
+        };
+        let line = encode_schedule_request(&ws);
+        assert!(decode_request(&line).is_ok(), "the baseline request must decode");
+
+        // (pattern in the encoded line, expected field name in the error)
+        let cases = [
+            ("\"clusters\":4", "\"clusters\":", "machine clusters"),
+            ("\"copy_units\":1", "\"copy_units\":", "machine copy_units"),
+            ("\"cqrf_capacity\":16", "\"cqrf_capacity\":", "machine cqrf_capacity"),
+            ("\"ii_seed\":3", "\"ii_seed\":", "ii_seed"),
+        ];
+        for (needle, prefix, field) in cases {
+            let bad = line.replace(needle, &format!("{prefix}{huge}"));
+            assert_ne!(bad, line, "pattern {needle} not found in the encoded request");
+            let err = decode_request(&bad).unwrap_err();
+            assert!(err.contains(field), "{field}: got {err}");
+            assert!(err.contains("does not fit in 32 bits"), "{field}: got {err}");
+        }
+    }
+
+    /// Edge latency/distance and operand fields narrow too: patch the loop
+    /// object directly (their values are not unique in a full request
+    /// line).
+    #[test]
+    fn oversized_loop_fields_are_rejected_with_positioned_errors() {
+        let huge = i64::from(u32::MAX) + 1;
+        let fir = kernels::fir(4, 32);
+
+        // edge latency (index 3) and distance (index 4)
+        for (index, field) in [(3usize, "edge latency"), (4usize, "edge distance")] {
+            let mut json = loop_json(&fir);
+            let Json::Obj(members) = &mut json else { unreachable!() };
+            let edges = members.iter_mut().find(|(k, _)| k == "edges").unwrap();
+            let Json::Arr(list) = &mut edges.1 else { unreachable!() };
+            let Json::Arr(edge) = &mut list[0] else { unreachable!() };
+            edge[index] = Json::Num(huge);
+            let err = decode_loop(&json).unwrap_err();
+            assert!(err.contains(field), "{field}: got {err}");
+        }
+
+        // operand producer slot and distance of a "def" read
+        for (index, field) in [(1usize, "operand producer slot"), (2usize, "operand distance")] {
+            let mut bad = Json::Arr(vec![Json::Str("def".to_string()), Json::Num(0), Json::Num(0)]);
+            let Json::Arr(parts) = &mut bad else { unreachable!() };
+            parts[index] = Json::Num(huge);
+            let err = decode_operand(&bad).unwrap_err();
+            assert!(err.contains(field), "{field}: got {err}");
+        }
+
+        // invariant index
+        let bad = Json::Arr(vec![Json::Str("inv".to_string()), Json::Num(huge)]);
+        let err = decode_operand(&bad).unwrap_err();
+        assert!(err.contains("invariant index"), "got {err}");
     }
 
     #[test]

@@ -26,12 +26,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod contention;
+pub mod event;
 pub mod exec;
 pub mod interp;
 pub mod values;
 pub mod verify;
 pub mod vliw;
 
+pub use contention::{contended_replay, replay_schedule, ContentionReport};
+pub use event::EventQueue;
 pub use exec::{simulate, SimError, SimReport};
 pub use interp::{reference_trace, StoreRecord};
 pub use verify::{verify_schedule, VerifyError, VerifyReport};

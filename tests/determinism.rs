@@ -126,7 +126,7 @@ fn pressure_retry_csv_is_byte_identical_for_1_and_4_threads() {
     let header = csv.lines().next().unwrap();
     assert!(header.ends_with(
         "pressure_retries,first_ii,max_queue_depth,topology,strategy,candidates,baseline_ii,\
-         cache_hit"
+         cache_hit,achieved_ii"
     ));
     assert!(a.iter().any(|m| m.pressure_retries > 0));
 }
@@ -167,8 +167,9 @@ fn portfolio_sweep_is_byte_identical_for_1_and_4_threads() {
 /// pre-strategy scheduler, pinned against a committed fixture captured from
 /// the binary built just before the strategy surface landed
 /// (`fig4 --loops 24 --clusters 1,2,4,8 --threads 1 --csv …`). Only the
-/// four appended columns — `strategy`, `candidates`, `baseline_ii`,
-/// `cache_hit` — may differ, so they are stripped before comparing.
+/// five appended columns — `strategy`, `candidates`, `baseline_ii`,
+/// `cache_hit`, `achieved_ii` — may differ, so they are stripped before
+/// comparing.
 #[test]
 fn default_strategy_csv_matches_the_pre_strategy_fixture() {
     let fixture = include_str!("fixtures/measurements_pre_strategy.csv");
@@ -181,7 +182,7 @@ fn default_strategy_csv_matches_the_pre_strategy_fixture() {
         .lines()
         .map(|line| {
             let mut fields: Vec<&str> = line.split(',').collect();
-            fields.truncate(fields.len() - 4);
+            fields.truncate(fields.len() - 5);
             fields.join(",") + "\n"
         })
         .collect();
@@ -191,13 +192,45 @@ fn default_strategy_csv_matches_the_pre_strategy_fixture() {
     );
 }
 
-/// Drops the `cache_hit` column (the 24th) so cold and warm sweeps can be
-/// compared byte for byte on everything the figures consume.
+/// An idealised sweep (no `--contention`) is byte-identical to the output
+/// of the pre-contention binary, pinned against a committed fixture
+/// captured just before the discrete-event replay layer landed
+/// (`fig4 --loops 24 --clusters 1,2,4,8 --threads 1 --csv …`). Only the
+/// appended `achieved_ii` column may differ — and it must be 0 on every
+/// idealised row — so it is stripped before comparing.
+#[test]
+fn idealised_sweep_csv_matches_the_pre_contention_fixture() {
+    let fixture = include_str!("fixtures/measurements_pre_contention.csv");
+    let mut cfg = ExperimentConfig::quick(24);
+    cfg.cluster_counts = vec![1, 2, 4, 8];
+    cfg.threads = 1;
+    let (rows, stats) = measure_suite_with_stats(&cfg);
+    assert_eq!(stats.failed, 0);
+    assert!(
+        rows.iter().all(|m| m.achieved_ii == 0),
+        "without --contention no row may carry an achieved II"
+    );
+    let stripped: String = report::measurements_csv(&rows)
+        .lines()
+        .map(|line| {
+            let mut fields: Vec<&str> = line.split(',').collect();
+            fields.truncate(fields.len() - 1);
+            fields.join(",") + "\n"
+        })
+        .collect();
+    assert_eq!(
+        stripped, fixture,
+        "idealised-mode output must stay byte-identical to the pre-contention binary"
+    );
+}
+
+/// Drops the `cache_hit` column (second to last) so cold and warm sweeps
+/// can be compared byte for byte on everything the figures consume.
 fn strip_cache_hit(csv: &str) -> String {
     csv.lines()
         .map(|line| {
             let mut fields: Vec<&str> = line.split(',').collect();
-            fields.truncate(fields.len() - 1);
+            fields.remove(fields.len() - 2);
             fields.join(",") + "\n"
         })
         .collect()
@@ -260,4 +293,70 @@ fn cache_shard_count_does_not_change_results() {
         report::measurements_csv(&eight),
         "the shard count may only affect lock contention, never results"
     );
+}
+
+/// The discrete-event replay core is as deterministic as the scheduler it
+/// replays: a figure-C sweep (contention + verification forced on across
+/// topologies) produces byte-identical aggregate *and* per-row CSV for 1
+/// and 4 worker threads.
+#[test]
+fn contention_replay_csv_is_byte_identical_for_1_and_4_threads() {
+    use dms_experiments::figure_c;
+    use dms_machine::TopologyKind;
+    let kinds = [TopologyKind::Bus, TopologyKind::Crossbar];
+    let mut serial = ExperimentConfig::quick(12);
+    serial.cluster_counts = vec![2, 4, 8];
+    serial.threads = 1;
+    let mut parallel = serial.clone();
+    parallel.threads = 4;
+
+    let (rows_a, raw_a, stats_a) = figure_c(&serial, &kinds);
+    let (rows_b, raw_b, stats_b) = figure_c(&parallel, &kinds);
+    for (kind, s) in stats_a.iter().chain(&stats_b) {
+        assert_eq!(s.failed, 0, "{kind}: every replayed schedule must verify");
+    }
+    assert_eq!(
+        report::figc_csv(&rows_a),
+        report::figc_csv(&rows_b),
+        "figure C aggregate CSV must not depend on the worker count"
+    );
+    assert_eq!(
+        report::measurements_csv(&raw_a),
+        report::measurements_csv(&raw_b),
+        "figure C per-row CSV must not depend on the worker count"
+    );
+}
+
+/// Contention replay can only ever *add* stalls: every replayed row
+/// sustains at least the scheduled II, and an unconstrained crossbar
+/// fabric sustains it exactly.
+#[test]
+fn achieved_ii_never_undercut_the_scheduled_ii() {
+    use dms_machine::TopologyKind;
+    for kind in [TopologyKind::Ring, TopologyKind::Bus, TopologyKind::Crossbar] {
+        let mut cfg = ExperimentConfig::quick(12);
+        cfg.cluster_counts = vec![2, 4, 8];
+        cfg.topology = kind;
+        cfg.contention = true;
+        let (rows, stats) = measure_suite_with_stats(&cfg);
+        assert_eq!(stats.failed, 0, "{kind}: contention implies verification");
+        assert!(stats.stores_verified > 0, "{kind}: contention implies verification");
+        for m in rows.iter().filter(|m| m.clusters > 1) {
+            assert!(
+                m.achieved_ii >= m.clustered_ii,
+                "{kind} loop {} at {} clusters: achieved {} below scheduled {}",
+                m.loop_id,
+                m.clusters,
+                m.achieved_ii,
+                m.clustered_ii
+            );
+            if kind == TopologyKind::Crossbar {
+                assert_eq!(
+                    m.achieved_ii, m.clustered_ii,
+                    "{kind} loop {}: an unconstrained fabric cannot stall",
+                    m.loop_id
+                );
+            }
+        }
+    }
 }
