@@ -1,6 +1,6 @@
-//! Emits the machine-readable benchmark snapshot (`BENCH_pr8.json`).
+//! Emits the machine-readable benchmark snapshot (`BENCH_pr9.json`).
 //!
-//! Four measurements, all on the reduced-but-representative bench
+//! Five measurements, all on the reduced-but-representative bench
 //! configuration (64 loops, clusters 1/2/4/8, verification on):
 //!
 //! 1. **cold sweep** — the full verified sweep against a fresh
@@ -14,21 +14,28 @@
 //! 4. **contention sweep** — the same verified sweep with the
 //!    contention-accurate replay on, against a fresh service; the ratio to
 //!    the cold sweep is the wall-clock cost of the discrete-event replay
-//!    layer.
+//!    layer;
+//! 5. **telemetry overhead** — the cold verified sweep once more, now with
+//!    a `dms-telemetry` registry installed process-wide and shared with the
+//!    service (the `--metrics-json` configuration); the ratio to a paired
+//!    telemetry-off re-run bounds the cost of metrics + event-trace
+//!    collection (expected within noise of 1.0 — collection is a handful
+//!    of relaxed atomics per scheduled loop).
 //!
-//! Usage: `bench-snapshot [OUT_PATH]` (default `BENCH_pr8.json`). The CI
+//! Usage: `bench-snapshot [OUT_PATH]` (default `BENCH_pr9.json`). The CI
 //! bench-smoke job regenerates the snapshot and diffs its key schema
 //! against the committed file, so the numbers stay honest without gating on
 //! machine-dependent absolute times.
 
 use dms_bench::bench_config;
 use dms_experiments::runner::measure_suite_with_stats_on;
+use dms_service::service::DEFAULT_SHARDS;
 use dms_service::{ScheduleRequest, ScheduleService, SchedulerKind};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr8.json".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr9.json".to_string());
 
     let mut cfg = bench_config(64, vec![1, 2, 4, 8]);
     cfg.verify = true;
@@ -89,6 +96,34 @@ fn main() {
     let replay_overhead =
         if cold.wall_seconds > 0.0 { contention.wall_seconds / cold.wall_seconds } else { 0.0 };
 
+    // 5. Telemetry collection overhead: the cold verified sweep with the
+    //    full `--metrics-json` wiring (process-wide registry + shared
+    //    service counters) against a telemetry-off run. Each sweep here is
+    //    only a few hundred milliseconds, so a single pair is dominated by
+    //    machine noise: interleave three rounds of each and take the best
+    //    per side, which is the standard minimum-of-N noise filter.
+    let mut on_best = f64::INFINITY;
+    let mut off_best = f64::INFINITY;
+    for _ in 0..3 {
+        let registry = std::sync::Arc::new(dms_telemetry::Registry::new());
+        dms_telemetry::install(std::sync::Arc::clone(&registry));
+        let service =
+            ScheduleService::with_registry(DEFAULT_SHARDS, std::sync::Arc::clone(&registry));
+        let (_, on) = measure_suite_with_stats_on(&cfg, &service);
+        dms_telemetry::uninstall();
+        assert_eq!(on.failed, 0, "the telemetry-on sweep must verify cleanly");
+        assert!(
+            registry.event_count(dms_telemetry::EventKind::IiAttemptStarted) > 0,
+            "the telemetry-on sweep must actually collect"
+        );
+        on_best = on_best.min(on.wall_seconds);
+
+        let (_, off) = measure_suite_with_stats_on(&cfg, &ScheduleService::default());
+        assert_eq!(off.failed, 0, "the telemetry-off sweep must verify cleanly");
+        off_best = off_best.min(off.wall_seconds);
+    }
+    let telemetry_overhead = if off_best > 0.0 { on_best / off_best } else { 0.0 };
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema_version\": 1,");
     let _ = writeln!(json, "  \"suite_loops\": {},", cfg.suite.num_loops);
@@ -105,7 +140,10 @@ fn main() {
     let _ = writeln!(json, "  \"warm_cache_hits\": {},", warm.cache_hits);
     let _ = writeln!(json, "  \"warm_cache_misses\": {},", warm.cache_misses);
     let _ = writeln!(json, "  \"contention_sweep_seconds\": {:.4},", contention.wall_seconds);
-    let _ = writeln!(json, "  \"contention_replay_overhead\": {replay_overhead:.2}");
+    let _ = writeln!(json, "  \"contention_replay_overhead\": {replay_overhead:.2},");
+    let _ = writeln!(json, "  \"telemetry_on_sweep_seconds\": {on_best:.4},");
+    let _ = writeln!(json, "  \"telemetry_off_sweep_seconds\": {off_best:.4},");
+    let _ = writeln!(json, "  \"telemetry_collection_overhead\": {telemetry_overhead:.3}");
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("could not write the snapshot");

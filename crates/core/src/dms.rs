@@ -12,6 +12,7 @@ use dms_sched::mii::{mii, MiiBreakdown};
 use dms_sched::pressure::QueuePressure;
 use dms_sched::schedule::{SchedStats, Schedule, ScheduleError, ScheduleResult};
 use dms_sched::strategy::SchedulerStrategy;
+use dms_telemetry::{SchedEvent, Telemetry};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -304,11 +305,13 @@ fn run_search(
     mode: &mut SearchMode,
 ) -> Result<ScheduleOutcome, ScheduleError> {
     let max_ii = ii_cap.map_or(prep.max_ii, |cap| prep.max_ii.min(cap));
+    let telemetry = Telemetry::current();
     let mut attempts = 0;
     let mut first_ii = None;
     let mut pressure_retries = 0u32;
     for ii in prep.start_ii..=max_ii {
         attempts += 1;
+        telemetry.event(SchedEvent::IiAttemptStarted { ii });
         // Chains are steered away from congested queue files only once a
         // capacity rejection has proven that congestion binds for this
         // loop; until then every attempt follows the paper's criterion
@@ -332,6 +335,7 @@ fn run_search(
             }
         };
         let Some((out_ddg, schedule, mut stats, pressure)) = attempt else {
+            telemetry.event(SchedEvent::IiAttemptFailed { ii });
             continue;
         };
         let first_ii = *first_ii.get_or_insert(ii);
@@ -341,6 +345,7 @@ fn run_search(
         // instances.
         if config.pressure == PressureMode::Aware && pressure.capacity_excess(machine).is_some() {
             pressure_retries += 1;
+            telemetry.event(SchedEvent::PressureRetry { ii });
             continue;
         }
         stats.mii = Some(prep.bounds);
@@ -378,6 +383,7 @@ fn run_challengers(
     challengers: u32,
     mut run: impl FnMut(u32, Option<u32>) -> Result<ScheduleOutcome, ScheduleError>,
 ) -> (Result<ScheduleOutcome, ScheduleError>, u32) {
+    let telemetry = Telemetry::current();
     let mut winner = 0u32;
     for i in 1..=challengers {
         let cap = incumbent.as_ref().ok().map(|o| o.ii());
@@ -391,6 +397,7 @@ fn run_challengers(
         if replaces {
             incumbent = Ok(challenger);
             winner = i;
+            telemetry.event(SchedEvent::CandidateWon { candidate: i });
         }
     }
     (incumbent, winner)

@@ -10,6 +10,7 @@ use dms_machine::{ClusterId, FuKind, MachineConfig, Mrt, Topology};
 use dms_sched::pressure::{edge_lifetime, Lifetime, QueuePressure};
 use dms_sched::priority::heights;
 use dms_sched::schedule::{dependence_bound, SchedStats, Schedule};
+use dms_telemetry::{SchedEvent, Telemetry};
 
 /// A committed chain of `move` operations realising one too-distant flow
 /// dependence.
@@ -80,6 +81,10 @@ pub struct SchedulerState {
     ii: u32,
     move_latency: u32,
     cqrf_capacity: u32,
+    /// Telemetry handle captured at construction (a no-op unless a global
+    /// registry is installed). Recording only — never read back, so it
+    /// cannot perturb any scheduling decision.
+    telemetry: Telemetry,
 }
 
 impl SchedulerState {
@@ -105,6 +110,7 @@ impl SchedulerState {
             ii,
             move_latency: machine.latency().mv,
             cqrf_capacity: machine.cqrf_capacity,
+            telemetry: Telemetry::current(),
             ddg,
         }
     }
@@ -442,6 +448,7 @@ impl SchedulerState {
     /// original edge and operand, and unschedules the consumer if the direct
     /// dependence would now cross indirectly connected clusters.
     fn dismantle(&mut self, chain: Chain) {
+        self.telemetry.event(SchedEvent::ChainDismantled { moves: chain.moves.len() as u32 });
         // Restore the consumer's operand to read the producer directly, at
         // the original edge's distance (the chain read was distance 0).
         if let Some(&last) = chain.moves.last() {

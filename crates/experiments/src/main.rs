@@ -2,7 +2,7 @@
 //! resident scheduling service.
 //!
 //! ```text
-//! dms-experiments [fig4|fig5|fig6|figT|figP|figC|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--contention] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]
+//! dms-experiments [fig4|fig5|fig6|figT|figP|figC|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--contention] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]] [--metrics-json PATH]
 //! dms-experiments serve [--addr HOST:PORT] [--shards N]
 //! dms-experiments client [--addr HOST:PORT] [--loops N] [--clusters A,B,C] [--seed S] [--shutdown]
 //! ```
@@ -42,16 +42,23 @@
 //! interconnects at 2/4/8 clusters (a `--topology` comma list narrows the
 //! set, e.g. `--topology bus,crossbar`) and asks whether figure T's
 //! "bus ≈ crossbar" verdict survives contention-accurate timing.
+//! `--metrics-json PATH` dumps the run's `dms-telemetry` registry —
+//! cache counters, per-request latency histogram, phase timers and the
+//! scheduler core's event-trace counts — as JSON; collection is
+//! observation-only, so the flag never changes a measurement (a workspace
+//! test pins the CSVs byte-identical with it on and off).
 
 use dms_experiments::ablation::{chain_policy_ablation, copy_unit_ablation};
 use dms_experiments::report;
 use dms_experiments::{
-    figure4, figure5, figure6, figure_c, figure_p, figure_t, measure_suite_with_stats,
+    figure4, figure5, figure6, figure_c, figure_p, figure_t, measure_suite_with_stats_on,
     ExperimentConfig, FIGC_CLUSTERS, FIGC_TOPOLOGIES, FIGP_CLUSTERS, FIGT_CLUSTERS,
 };
 use dms_machine::TopologyKind;
 use dms_sched::SchedulerStrategy;
+use dms_telemetry::Registry;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Command {
@@ -70,17 +77,23 @@ struct Cli {
     command: Command,
     config: ExperimentConfig,
     csv_dir: Option<String>,
+    /// Dump the run's metrics registry (counters, timers, histograms,
+    /// scheduler event trace counts) as JSON to this path, and install the
+    /// registry as the process-wide telemetry sink so the scheduler core's
+    /// events are captured too.
+    metrics_json: Option<String>,
     /// Interconnects the figC sweep replays (ignored by every other
     /// command, which uses `config.topology`).
     figc_topologies: Vec<dms_machine::TopologyKind>,
 }
 
-const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|figT|figP|figC|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--contention] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]]\n       dms-experiments serve [--addr HOST:PORT] [--shards N]\n       dms-experiments client [--addr HOST:PORT] [--loops N] [--clusters A,B,C] [--seed S] [--shutdown]";
+const USAGE: &str = "usage: dms-experiments [fig4|fig5|fig6|figT|figP|figC|ablation|all] [--loops N] [--clusters A,B,C] [--seed S] [--csv DIR] [--threads T] [--verify] [--contention] [--cqrf-capacity N] [--topology ring|chordal[:K]|bus|crossbar] [--strategy dms|beam:W|portfolio:N[:E]] [--metrics-json PATH]\n       dms-experiments serve [--addr HOST:PORT] [--shards N]\n       dms-experiments client [--addr HOST:PORT] [--loops N] [--clusters A,B,C] [--seed S] [--shutdown]";
 
 fn parse_args() -> Result<Cli, String> {
     let mut command = Command::All;
     let mut config = ExperimentConfig::paper();
     let mut csv_dir = None;
+    let mut metrics_json = None;
     let mut clusters_given = false;
     let mut topology_arg: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -132,6 +145,9 @@ fn parse_args() -> Result<Cli, String> {
                     Some(v.parse().map_err(|_| format!("bad --cqrf-capacity value {v}"))?);
             }
             "--csv" => csv_dir = Some(args.next().ok_or("--csv needs a directory")?),
+            "--metrics-json" => {
+                metrics_json = Some(args.next().ok_or("--metrics-json needs a path")?);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -188,7 +204,7 @@ fn parse_args() -> Result<Cli, String> {
             };
         }
     }
-    Ok(Cli { command, config, csv_dir, figc_topologies })
+    Ok(Cli { command, config, csv_dir, metrics_json, figc_topologies })
 }
 
 fn write_csv(dir: &str, name: &str, contents: &str) {
@@ -226,7 +242,14 @@ fn run_serve(args: &[String]) -> ExitCode {
             }
         }
     }
-    let service = std::sync::Arc::new(dms_service::ScheduleService::new(shards));
+    // The served registry is also installed process-wide, so the
+    // scheduler core's trace events (II attempts, pressure retries, chain
+    // dismantles, link stalls) show up in `{"op":"metrics"}` scrapes
+    // alongside the cache counters and request latencies.
+    let registry = Arc::new(Registry::new());
+    dms_telemetry::install(Arc::clone(&registry));
+    let service =
+        std::sync::Arc::new(dms_service::ScheduleService::with_registry(shards, registry));
     match dms_service::net::serve(addr.as_str(), service) {
         Ok(()) => {
             println!("dms-service shut down cleanly");
@@ -374,6 +397,17 @@ fn drive_service(
         println!("repeat request answered from cache");
     }
 
+    // Scrape the server's metrics registry and print the exposition: the
+    // CI smoke job greps this for a nonzero cache-hit counter and a
+    // populated request-latency histogram.
+    let scrape = Json::parse(&client.roundtrip(&wire::encode_metrics_request()).map_err(io)?)?;
+    let exposition = scrape
+        .get("metrics")
+        .and_then(Json::as_str)
+        .ok_or("metrics response carries no exposition text")?;
+    println!("server metrics after the sweep:");
+    print!("{exposition}");
+
     if shutdown {
         client.roundtrip(&wire::encode_shutdown_request()).map_err(io)?;
         println!("server asked to shut down");
@@ -397,6 +431,32 @@ fn main() -> ExitCode {
         }
     };
 
+    // One registry for the whole run: the sweep's service publishes its
+    // cache counters and request latencies into it, the phase timers land
+    // in it, and — when `--metrics-json` asks for the dump — it is also
+    // installed process-wide so the scheduler core's event trace is
+    // captured. Collection is observation-only, so installing it cannot
+    // change a single scheduled cycle (a workspace test pins the CSVs
+    // byte-identical either way).
+    let registry = Arc::new(Registry::new());
+    if cli.metrics_json.is_some() {
+        dms_telemetry::install(Arc::clone(&registry));
+    }
+    let code = run(&cli, &registry);
+    if let Some(path) = &cli.metrics_json {
+        match std::fs::write(path, registry.render_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    code
+}
+
+fn run(cli: &Cli, registry: &Arc<Registry>) -> ExitCode {
+    let run_timer = registry.timer("dms_run_wall_nanoseconds_total");
     println!(
         "DMS reproduction — {} loops, clusters {:?}, seed {}, topology {}, strategy {}",
         cli.config.suite.num_loops,
@@ -503,8 +563,14 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let (measurements, stats) = measure_suite_with_stats(&cli.config);
-    let reporting_started = std::time::Instant::now();
+    let scheduling_timer = registry.timer("dms_phase_scheduling_nanoseconds_total");
+    let service = dms_service::ScheduleService::with_registry(
+        dms_service::service::DEFAULT_SHARDS,
+        Arc::clone(registry),
+    );
+    let (measurements, stats) = measure_suite_with_stats_on(&cli.config, &service);
+    let scheduling = scheduling_timer.stop();
+    let reporting_timer = registry.timer("dms_phase_reporting_nanoseconds_total");
     println!(
         "swept {} (loop, machine) tasks twice (IMS + DMS) on {} thread{} in {:.2} s \
          — {:.0} schedules/s, {:.1}M useful op instances covered",
@@ -568,10 +634,19 @@ fn main() -> ExitCode {
             write_csv(dir, "figure6.csv", &report::fig6_csv(&rows));
         }
     }
+    // The three phases are scoped telemetry timers off one clock: the run
+    // timer spans both, so scheduling + reporting + overhead == total by
+    // construction (overhead is argument parsing, suite setup and teardown
+    // outside the two phase scopes).
+    let reporting = reporting_timer.stop();
+    let total = run_timer.stop();
+    let overhead = total.saturating_sub(scheduling).saturating_sub(reporting);
     println!(
-        "wall time: {:.2} s scheduling, {:.2} s reporting",
-        stats.wall_seconds,
-        reporting_started.elapsed().as_secs_f64(),
+        "wall time: {:.2} s scheduling, {:.2} s reporting, {:.2} s overhead (total {:.2} s)",
+        scheduling.as_secs_f64(),
+        reporting.as_secs_f64(),
+        overhead.as_secs_f64(),
+        total.as_secs_f64(),
     );
     // In verify mode a failed task is a compiler bug (a schedule that could
     // not be allocated, executed, or whose stores diverged from the scalar

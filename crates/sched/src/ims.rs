@@ -20,6 +20,7 @@ use crate::schedule::{
 use dms_ir::transform::convert_to_single_use;
 use dms_ir::{Ddg, Loop, OpId};
 use dms_machine::{ClusterId, FuKind, MachineConfig, Mrt};
+use dms_telemetry::{SchedEvent, Telemetry};
 
 /// Tuning parameters of the IMS search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,8 +71,10 @@ pub fn ims_schedule(
     let mut stats =
         SchedStats { mii: Some(bounds), copies_inserted: copies, ..SchedStats::default() };
 
+    let telemetry = Telemetry::current();
     for ii in start_ii..=max_ii {
         stats.ii_attempts += 1;
+        telemetry.event(SchedEvent::IiAttemptStarted { ii });
         if let Some(outcome) = try_ims(&ddg, machine, ii, budget) {
             stats.evictions += outcome.evictions;
             stats.budget_used += outcome.budget_used;
@@ -82,6 +85,7 @@ pub fn ims_schedule(
                 stats,
             });
         }
+        telemetry.event(SchedEvent::IiAttemptFailed { ii });
     }
     Err(ScheduleError::IiLimitReached { limit: max_ii })
 }

@@ -22,8 +22,8 @@
 //! [`PoisonError::into_inner`].
 
 use crate::hash::CacheKey;
+use dms_telemetry::Counter;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 /// Snapshot of the cache's activity counters.
@@ -42,23 +42,41 @@ pub struct CacheCounters {
 type Shard<V> = Mutex<HashMap<CacheKey, Vec<(u64, V)>>>;
 
 /// A sharded map from (key, guard) to a cloneable value.
+///
+/// The hit/miss/insert counters are `dms-telemetry` [`Counter`] handles,
+/// so a cache built with [`ShardedCache::with_counters`] publishes its
+/// activity straight into a metrics registry; [`ShardedCache::new`] wires
+/// standalone (unregistered) counters for callers that only ever read
+/// [`ShardedCache::stats`].
 #[derive(Debug)]
 pub struct ShardedCache<V> {
     shards: Vec<Shard<V>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
 }
 
 impl<V: Clone> ShardedCache<V> {
-    /// Creates a cache with `shards` shards (clamped to at least 1).
+    /// Creates a cache with `shards` shards (clamped to at least 1) and
+    /// standalone counters.
     pub fn new(shards: usize) -> Self {
+        Self::with_counters(
+            shards,
+            Counter::standalone(),
+            Counter::standalone(),
+            Counter::standalone(),
+        )
+    }
+
+    /// Creates a cache whose hit/miss/insert counts feed the given
+    /// counters (typically registered in the owning service's registry).
+    pub fn with_counters(shards: usize, hits: Counter, misses: Counter, inserts: Counter) -> Self {
         let shards = shards.max(1);
         ShardedCache {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
+            hits,
+            misses,
+            inserts,
         }
     }
 
@@ -81,8 +99,8 @@ impl<V: Clone> ShardedCache<V> {
             .map(|(_, v)| v.clone());
         drop(shard);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         found
     }
@@ -99,7 +117,7 @@ impl<V: Clone> ShardedCache<V> {
         }
         entries.push((guard, value));
         drop(shard);
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.inserts.inc();
     }
 
     /// Total entries across all shards (guard-level granularity).
@@ -124,9 +142,9 @@ impl<V: Clone> ShardedCache<V> {
     /// Snapshot of the hit/miss/insert counters.
     pub fn stats(&self) -> CacheCounters {
         CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            inserts: self.inserts.get(),
         }
     }
 }

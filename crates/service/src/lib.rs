@@ -20,10 +20,12 @@
 //!   entry keeps isomorphic-but-distinct loops (whose schedules can differ
 //!   in name-seeded tie-breaks) from ever sharing an entry.
 //! * [`cache`] — N `Mutex`-guarded shards keyed by
-//!   (canonical DDG hash, context hash), with hit/miss/insert counters.
-//!   The canonical half of the key is [`dms_ir::canonical_hash`]; the
-//!   context half folds the machine description, the scheduler kind and
-//!   configuration, and the verification trip count.
+//!   (canonical DDG hash, context hash), with hit/miss/insert counters
+//!   published as `dms-telemetry` handles into the owning service's
+//!   metrics registry. The canonical half of the key is
+//!   [`dms_ir::canonical_hash`]; the context half folds the machine
+//!   description, the scheduler kind and configuration, and the
+//!   verification trip count.
 //! * [`pool`] — the deterministic work-stealing worker pool (shared atomic
 //!   cursor, small claimed batches, one pre-allocated result slot per item)
 //!   lifted out of the experiments sweep engine so every driver can fan
@@ -34,6 +36,13 @@
 //! the build is offline and the vendored serde shim is marker-traits only,
 //! so the JSON codec is hand-rolled here) used by the
 //! `dms-experiments serve` / `client` subcommands.
+//!
+//! Every service owns a [`dms_telemetry::Registry`]: cache counters, a
+//! per-request latency histogram and an in-flight gauge land there, and
+//! the wire protocol's `{"op":"metrics"}` operation serves the registry in
+//! Prometheus text exposition format ([`ScheduleService::metrics_text`]).
+//! Collection is observation-only, so responses stay bit-identical with or
+//! without anyone scraping.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

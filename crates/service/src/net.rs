@@ -106,6 +106,9 @@ fn handle_connection(
             Ok(wire::WireRequest::Stats) => {
                 wire::encode_stats_response(service.cache_stats(), service.cache_len())
             }
+            Ok(wire::WireRequest::Metrics) => {
+                wire::encode_metrics_response(&service.metrics_text())
+            }
             Ok(wire::WireRequest::Shutdown) => {
                 shutdown.store(true, Ordering::SeqCst);
                 // Unblock the accept loop: it re-checks the flag per
@@ -247,6 +250,13 @@ mod tests {
         assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(1));
+
+        let scrape =
+            Json::parse(&client.roundtrip(&wire::encode_metrics_request()).unwrap()).unwrap();
+        assert_eq!(scrape.get("ok").and_then(Json::as_bool), Some(true));
+        let exposition = scrape.get("metrics").and_then(Json::as_str).unwrap();
+        assert!(exposition.contains("dms_cache_hits_total 1"), "scrape:\n{exposition}");
+        assert!(exposition.contains("dms_request_latency_micros_count 2"), "scrape:\n{exposition}");
 
         let bye =
             Json::parse(&client.roundtrip(&wire::encode_shutdown_request()).unwrap()).unwrap();

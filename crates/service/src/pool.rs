@@ -102,6 +102,43 @@ mod tests {
     }
 
     #[test]
+    fn zero_tasks_run_zero_closures_for_any_worker_count() {
+        for threads in [0, 1, 7, 128] {
+            let calls = AtomicU64::new(0);
+            let out: Vec<u64> = run_indexed(0, threads, |_| calls.fetch_add(1, Ordering::Relaxed));
+            assert!(out.is_empty(), "threads={threads}");
+            assert_eq!(calls.load(Ordering::Relaxed), 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn one_task_runs_exactly_once_even_with_many_workers() {
+        for threads in [1, 2, 64] {
+            let calls = AtomicU64::new(0);
+            let out = run_indexed(1, threads, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i + 10
+            });
+            assert_eq!(out, vec![10], "threads={threads}");
+            assert_eq!(calls.load(Ordering::Relaxed), 1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_tasks_change_nothing_results_and_counts_identical() {
+        let reference: Vec<usize> = (0..5).map(|i| i * 3 + 1).collect();
+        for threads in [1, 5, 6, 200] {
+            let calls = AtomicU64::new(0);
+            let out = run_indexed(5, threads, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i * 3 + 1
+            });
+            assert_eq!(out, reference, "threads={threads}");
+            assert_eq!(calls.load(Ordering::Relaxed), 5, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn resolve_threads_maps_zero_to_the_core_count() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);

@@ -24,7 +24,10 @@ use dms_ir::{canonical_hash, Loop};
 use dms_machine::MachineConfig;
 use dms_sched::{ims_schedule, ImsConfig, ScheduleError, ScheduleResult};
 use dms_sim::{replay_schedule, verify_schedule};
+use dms_telemetry::{Gauge, Histogram, Registry, SchedEvent};
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Which scheduler a request runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,9 +158,22 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// The resident scheduling service: a sharded content-addressed schedule
 /// cache in front of the deterministic scheduling (+ verification)
 /// pipeline.
+///
+/// Every service owns a [`Registry`]: the cache's hit/miss/insert counters
+/// live in it (as `dms_cache_hits_total` / `dms_cache_misses_total` /
+/// `dms_cache_inserts_total`), every [`ScheduleService::schedule`] call
+/// lands in the `dms_request_latency_micros` histogram, and
+/// `dms_requests_inflight` tracks concurrent requests. [`ScheduleService::new`]
+/// builds a private registry (unit tests stay isolated from each other);
+/// [`ScheduleService::with_registry`] shares a caller-owned one so a driver
+/// can merge service metrics with its own timers and the scheduler-core
+/// event trace.
 #[derive(Debug)]
 pub struct ScheduleService {
     cache: ShardedCache<CachedSchedule>,
+    registry: Arc<Registry>,
+    latency: Histogram,
+    inflight: Gauge,
 }
 
 impl Default for ScheduleService {
@@ -168,10 +184,35 @@ impl Default for ScheduleService {
 
 impl ScheduleService {
     /// Creates a service whose cache has `shards` shards (clamped to at
-    /// least 1). The shard count is a performance knob only: responses
-    /// never depend on it.
+    /// least 1) and a private metrics registry. The shard count is a
+    /// performance knob only: responses never depend on it.
     pub fn new(shards: usize) -> Self {
-        ScheduleService { cache: ShardedCache::new(shards) }
+        Self::with_registry(shards, Arc::new(Registry::new()))
+    }
+
+    /// Creates a service that publishes its metrics into the given
+    /// registry instead of a private one.
+    pub fn with_registry(shards: usize, registry: Arc<Registry>) -> Self {
+        let cache = ShardedCache::with_counters(
+            shards,
+            registry.counter("dms_cache_hits_total"),
+            registry.counter("dms_cache_misses_total"),
+            registry.counter("dms_cache_inserts_total"),
+        );
+        let latency = registry.histogram("dms_request_latency_micros");
+        let inflight = registry.gauge("dms_requests_inflight");
+        ScheduleService { cache, registry, latency, inflight }
+    }
+
+    /// The metrics registry this service publishes into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Renders the registry in Prometheus text exposition format — the
+    /// payload of the wire `{"op":"metrics"}` response.
+    pub fn metrics_text(&self) -> String {
+        self.registry.render_prometheus()
     }
 
     /// Number of cache shards.
@@ -197,15 +238,25 @@ impl ScheduleService {
     /// [`ServiceError::Verify`] when the requested end-to-end verification
     /// fails. Neither is cached.
     pub fn schedule(&self, req: &ScheduleRequest<'_>) -> Result<ScheduleResponse, ServiceError> {
+        let _inflight = self.inflight.track();
+        let started = Instant::now();
+        let result = self.answer(req);
+        self.latency.observe(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        result
+    }
+
+    fn answer(&self, req: &ScheduleRequest<'_>) -> Result<ScheduleResponse, ServiceError> {
         let key = cache_key(req);
         let guard = guard_fingerprint(req.body);
         if let Some(entry) = self.cache.lookup(&key, guard) {
+            self.registry.record_event(SchedEvent::CacheHit);
             return Ok(ScheduleResponse {
                 output: entry.output,
                 verify: entry.verify,
                 cache_hit: true,
             });
         }
+        self.registry.record_event(SchedEvent::CacheMiss);
 
         let output = match req.scheduler {
             SchedulerKind::Ims => SchedulerOutput::Ims(Box::new(
@@ -400,6 +451,44 @@ mod tests {
         req.dms.ii_seed = Some(7);
         let warm = service.schedule(&req).unwrap();
         assert!(warm.cache_hit, "an IMS request must hit regardless of DMS knobs");
+    }
+
+    #[test]
+    fn the_registry_mirrors_cache_stats_and_counts_request_latencies() {
+        let service = ScheduleService::new(4);
+        let fir = kernels::fir(8, 64);
+        let machine = MachineConfig::paper_clustered(4);
+        let req = dms_request(&fir, &machine);
+
+        service.schedule(&req).unwrap();
+        service.schedule(&req).unwrap();
+
+        let registry = service.registry();
+        assert_eq!(registry.counter("dms_cache_hits_total").get(), 1);
+        assert_eq!(registry.counter("dms_cache_misses_total").get(), 1);
+        assert_eq!(registry.counter("dms_cache_inserts_total").get(), 1);
+        assert_eq!(service.cache_stats(), CacheCounters { hits: 1, misses: 1, inserts: 1 });
+        assert_eq!(registry.histogram("dms_request_latency_micros").count(), 2);
+        assert_eq!(registry.gauge("dms_requests_inflight").get(), 0, "track() guard restored");
+        assert_eq!(registry.event_count(dms_telemetry::EventKind::CacheHit), 1);
+        assert_eq!(registry.event_count(dms_telemetry::EventKind::CacheMiss), 1);
+
+        let text = service.metrics_text();
+        assert!(text.contains("dms_cache_hits_total 1"), "exposition holds the hit count:\n{text}");
+        assert!(text.contains("dms_request_latency_micros_count 2"), "latency count:\n{text}");
+    }
+
+    #[test]
+    fn a_shared_registry_merges_metrics_from_the_owning_driver() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("driver_sweeps_total").inc();
+        let service = ScheduleService::with_registry(2, Arc::clone(&registry));
+        let fir = kernels::fir(8, 64);
+        let machine = MachineConfig::paper_clustered(4);
+        service.schedule(&dms_request(&fir, &machine)).unwrap();
+        let text = service.metrics_text();
+        assert!(text.contains("driver_sweeps_total 1"));
+        assert!(text.contains("dms_cache_misses_total 1"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! {"op":"schedule","loop":{...},"machine":{...},"scheduler":"dms",
 //!  "strategy":"dms","ii_seed":null,"verify_trips":64}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -37,6 +38,8 @@
 //!  "verify":{"stores_checked":128,"max_queue_depth":3}}
 //! ```
 //!
+//! A `metrics` response carries the registry's Prometheus text exposition
+//! as an escaped JSON string: `{"ok":true,"metrics":"# TYPE ...\n..."}`.
 //! Errors are `{"ok":false,"error":"..."}`.
 
 use crate::cache::CacheCounters;
@@ -432,6 +435,9 @@ pub enum WireRequest {
     Schedule(Box<WireSchedule>),
     /// Report the cache counters.
     Stats,
+    /// Report the service's metrics registry in Prometheus text
+    /// exposition format.
+    Metrics,
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
 }
@@ -580,6 +586,11 @@ pub fn encode_stats_request() -> String {
     Json::Obj(vec![("op".to_string(), Json::Str("stats".to_string()))]).render()
 }
 
+/// Encodes a `metrics` request.
+pub fn encode_metrics_request() -> String {
+    Json::Obj(vec![("op".to_string(), Json::Str("metrics".to_string()))]).render()
+}
+
 /// Encodes a `shutdown` request.
 pub fn encode_shutdown_request() -> String {
     Json::Obj(vec![("op".to_string(), Json::Str("shutdown".to_string()))]).render()
@@ -644,6 +655,17 @@ pub fn encode_stats_response(counters: CacheCounters, entries: usize) -> String 
         ("misses".to_string(), Json::Num(counters.misses as i64)),
         ("inserts".to_string(), Json::Num(counters.inserts as i64)),
         ("entries".to_string(), Json::Num(entries as i64)),
+    ])
+    .render()
+}
+
+/// Encodes a `metrics` response. The multi-line Prometheus exposition
+/// text rides inside the single-line wire protocol as an escaped JSON
+/// string — a scraper unescapes `"metrics"` and has the standard format.
+pub fn encode_metrics_response(text: &str) -> String {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("metrics".to_string(), Json::Str(text.to_string())),
     ])
     .render()
 }
@@ -797,6 +819,7 @@ pub fn decode_request(line: &str) -> Result<WireRequest, String> {
     let json = Json::parse(line)?;
     match json.get("op").and_then(Json::as_str) {
         Some("stats") => Ok(WireRequest::Stats),
+        Some("metrics") => Ok(WireRequest::Metrics),
         Some("shutdown") => Ok(WireRequest::Shutdown),
         Some("schedule") => {
             let body = decode_loop(json.get("loop").ok_or("schedule needs a loop")?)?;
@@ -1042,9 +1065,20 @@ mod tests {
     }
 
     #[test]
-    fn stats_and_shutdown_requests_decode() {
+    fn stats_metrics_and_shutdown_requests_decode() {
         assert!(matches!(decode_request(&encode_stats_request()), Ok(WireRequest::Stats)));
+        assert!(matches!(decode_request(&encode_metrics_request()), Ok(WireRequest::Metrics)));
         assert!(matches!(decode_request(&encode_shutdown_request()), Ok(WireRequest::Shutdown)));
         assert!(decode_request("{}").is_err());
+    }
+
+    #[test]
+    fn a_metrics_response_escapes_the_multiline_exposition_into_one_line() {
+        let text = "# TYPE dms_cache_hits_total counter\ndms_cache_hits_total 3\n";
+        let line = encode_metrics_response(text);
+        assert!(!line.contains('\n'), "wire responses are single lines: {line}");
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("metrics").and_then(Json::as_str), Some(text));
     }
 }

@@ -256,12 +256,17 @@ pub fn contended_replay(
     let cycles = last_issue.map_or(0, |t| t + 1);
     let ideal_cycles = words.len() as u64;
     let scheduled_ii = program.ii;
+    let stall_cycles = cycles.saturating_sub(ideal_cycles);
+    if stall_cycles > 0 {
+        dms_telemetry::Telemetry::current()
+            .event(dms_telemetry::SchedEvent::LinkStall { cycles: stall_cycles });
+    }
     Ok(ContentionReport {
         scheduled_ii,
         achieved_ii: measure_achieved_ii(&st.store_times, scheduled_ii),
         cycles,
         ideal_cycles,
-        stall_cycles: cycles.saturating_sub(ideal_cycles),
+        stall_cycles,
         transfers: st.transfers,
         serialized_transfers: st.serialized,
     })

@@ -22,4 +22,5 @@ pub use dms_regalloc as regalloc;
 pub use dms_sched as sched;
 pub use dms_service as service;
 pub use dms_sim as sim;
+pub use dms_telemetry as telemetry;
 pub use dms_workloads as workloads;
